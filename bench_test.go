@@ -1,0 +1,271 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§6), plus ablation benches for the design choices called out in
+// DESIGN.md (scheduler, task granularity, kernels).
+//
+// Each BenchmarkTableN/BenchmarkFigN target runs the corresponding
+// expharness experiment end to end on reduced-scale surrogates; the series
+// themselves can be printed with `go run ./cmd/experiments -run <id>`.
+// Kernel-level micro benchmarks live in internal/intersect.
+package ppscan_test
+
+import (
+	"io"
+	"testing"
+
+	"ppscan"
+	"ppscan/graph"
+	"ppscan/internal/core"
+	"ppscan/internal/dataset"
+	"ppscan/internal/expharness"
+	"ppscan/internal/intersect"
+	"ppscan/internal/simdef"
+)
+
+// benchCfg returns the experiment configuration used by the figure benches:
+// reduced dataset scale so a full `go test -bench=.` pass stays in the
+// minutes range, full parameter grids unless -short.
+func benchCfg(b *testing.B) expharness.Config {
+	b.Helper()
+	return expharness.Config{
+		Scale: 0.1,
+		Out:   io.Discard,
+		Quick: testing.Short(),
+	}
+}
+
+func BenchmarkTable1Stats(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		rows := expharness.Table1(cfg)
+		if len(rows) != 4 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkTable2Stats(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		rows := expharness.Table2(cfg)
+		if len(rows) != 4 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFig1Breakdown(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		if rows := expharness.Fig1(cfg); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig2Overall(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		if rows := expharness.Fig2(cfg); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig3OverallKNL(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		if rows := expharness.Fig3(cfg); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig4Invocations(b *testing.B) {
+	cfg := benchCfg(b)
+	var lastPP, lastPS float64
+	for i := 0; i < b.N; i++ {
+		rows := expharness.Fig4(cfg)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+		lastPP, lastPS = 0, 0
+		for _, r := range rows {
+			lastPP += r.NormalizedPPSCAN()
+			lastPS += r.NormalizedPSCAN()
+		}
+		lastPP /= float64(len(rows))
+		lastPS /= float64(len(rows))
+	}
+	b.ReportMetric(lastPP, "ppscan-calls/edge")
+	b.ReportMetric(lastPS, "pscan-calls/edge")
+}
+
+func BenchmarkFig5Vectorization(b *testing.B) {
+	cfg := benchCfg(b)
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows := expharness.Fig5(cfg)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+		speedup = 0
+		for _, r := range rows {
+			speedup += r.Speedup()
+		}
+		speedup /= float64(len(rows))
+	}
+	b.ReportMetric(speedup, "mean-kernel-speedup")
+}
+
+func BenchmarkFig6Scalability(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		if rows := expharness.Fig6(cfg); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig7Robustness(b *testing.B) {
+	cfg := benchCfg(b)
+	for i := 0; i < b.N; i++ {
+		if rows := expharness.Fig7(cfg); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig8Roll(b *testing.B) {
+	cfg := benchCfg(b)
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows := expharness.Fig8(cfg)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+		speedup = 0
+		for _, r := range rows {
+			speedup += r.SelfSpeedup
+		}
+		speedup /= float64(len(rows))
+	}
+	b.ReportMetric(speedup, "mean-self-speedup")
+}
+
+// --- Per-algorithm benches on a fixed workload ---------------------------
+
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	return dataset.MustLoad("webbase-sim", 0.1)
+}
+
+func benchAlgo(b *testing.B, algo ppscan.Algorithm) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ppscan.Run(g, ppscan.Options{Algorithm: algo, Epsilon: "0.2", Mu: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Roles) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+	b.SetBytes(g.NumDirectedEdges() * 4)
+}
+
+func BenchmarkAlgoSCAN(b *testing.B)    { benchAlgo(b, ppscan.AlgoSCAN) }
+func BenchmarkAlgoPSCAN(b *testing.B)   { benchAlgo(b, ppscan.AlgoPSCAN) }
+func BenchmarkAlgoPPSCAN(b *testing.B)  { benchAlgo(b, ppscan.AlgoPPSCAN) }
+func BenchmarkAlgoSCANXP(b *testing.B)  { benchAlgo(b, ppscan.AlgoSCANXP) }
+func BenchmarkAlgoAnySCAN(b *testing.B) { benchAlgo(b, ppscan.AlgoAnySCAN) }
+func BenchmarkAlgoSCANPP(b *testing.B)  { benchAlgo(b, ppscan.AlgoSCANPP) }
+
+// GS*-Index: one exhaustive build vs per-query cost (the §3.3 trade-off).
+func BenchmarkIndexBuildVsQuery(b *testing.B) {
+	g := benchGraph(b)
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ppscan.BuildIndex(g, 0)
+		}
+	})
+	ix := ppscan.BuildIndex(g, 0)
+	b.Run("query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.Query("0.2", 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Ablation benches -----------------------------------------------------
+
+func mustTh(b *testing.B, eps string, mu int32) simdef.Threshold {
+	b.Helper()
+	th, err := simdef.NewThreshold(eps, mu)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return th
+}
+
+// Scheduler ablation: degree-based dynamic tasks (the paper's Algorithm 5)
+// vs static equal-size blocks.
+func BenchmarkAblationSchedulerDynamic(b *testing.B) {
+	g := benchGraph(b)
+	th := mustTh(b, "0.2", 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(g, th, core.Options{Kernel: intersect.PivotBlock16})
+	}
+}
+
+func BenchmarkAblationSchedulerStatic(b *testing.B) {
+	g := benchGraph(b)
+	th := mustTh(b, "0.2", 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(g, th, core.Options{Kernel: intersect.PivotBlock16, StaticScheduling: true})
+	}
+}
+
+// Task-granularity ablation: the paper's 32768 threshold vs finer/coarser.
+func BenchmarkAblationTaskThreshold(b *testing.B) {
+	g := benchGraph(b)
+	th := mustTh(b, "0.2", 5)
+	for _, thresh := range []int64{1024, 32768, 1 << 20} {
+		thresh := thresh
+		b.Run(sizeName(thresh), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Run(g, th, core.Options{Kernel: intersect.PivotBlock16, DegreeThreshold: thresh})
+			}
+		})
+	}
+}
+
+// Kernel ablation inside full ppSCAN runs (complements the isolated kernel
+// micro benches in internal/intersect).
+func BenchmarkAblationPPSCANKernel(b *testing.B) {
+	g := benchGraph(b)
+	th := mustTh(b, "0.2", 5)
+	for _, k := range intersect.Kinds() {
+		k := k
+		b.Run(k.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Run(g, th, core.Options{Kernel: k})
+			}
+		})
+	}
+}
+
+func sizeName(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return "1Mi"
+	case n >= 32768:
+		return "32Ki"
+	default:
+		return "1Ki"
+	}
+}

@@ -1,0 +1,96 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (§6) as text series on the surrogate datasets.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig4
+//	experiments -run all -scale 0.5 -repeats 3
+//	experiments -run fig6 -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ppscan/internal/expharness"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments")
+		run     = flag.String("run", "", "experiment id to run, or \"all\"")
+		scale   = flag.Float64("scale", 1.0, "dataset scale factor")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		repeats = flag.Int("repeats", 1, "repetitions per measurement (best time reported, as in the paper)")
+		quick   = flag.Bool("quick", false, "reduced parameter grids (smoke test)")
+		csvDir  = flag.String("csv", "", "also write machine-readable <id>.csv files into this directory")
+		charts  = flag.Bool("charts", false, "render terminal bar charts for figure experiments")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range expharness.Experiments() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Description)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <id> or -run all")
+		}
+		return
+	}
+
+	cfg := expharness.Config{
+		Scale:   *scale,
+		Workers: *workers,
+		Repeats: *repeats,
+		Quick:   *quick,
+		Charts:  *charts,
+		Out:     os.Stdout,
+	}
+
+	if *run == "all" {
+		for _, e := range expharness.Experiments() {
+			runOne(e, cfg, *csvDir)
+		}
+		return
+	}
+	e, err := expharness.Lookup(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	runOne(e, cfg, *csvDir)
+}
+
+func runOne(e expharness.Experiment, cfg expharness.Config, csvDir string) {
+	t0 := time.Now()
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(csvDir, e.ID+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := expharness.RunCSV(e.ID, cfg, f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %s CSV written to %s in %v --\n\n", e.ID, path, time.Since(t0).Round(time.Millisecond))
+		return
+	}
+	e.Run(cfg)
+	fmt.Printf("-- %s completed in %v --\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+}

@@ -1,0 +1,79 @@
+// Command graphgen generates synthetic graphs and writes them as edge-list
+// (.txt) or binary CSR (.bin) files.
+//
+// Usage:
+//
+//	graphgen -kind roll -n 100000 -deg 40 -seed 7 -o roll.bin
+//	graphgen -kind er -n 10000 -m 50000 -o er.txt
+//	graphgen -dataset twitter-sim -scale 0.5 -o twitter.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ppscan/graph"
+	"ppscan/internal/dataset"
+	"ppscan/internal/gen"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "", "generator: er, roll, rmat, pp, ws, clique-chain")
+		ds     = flag.String("dataset", "", "named surrogate dataset (alternative to -kind); one of "+fmt.Sprint(dataset.Names()))
+		scale  = flag.Float64("scale", 1.0, "dataset scale factor (with -dataset)")
+		n      = flag.Int("n", 10000, "number of vertices (er, roll, ws) / per-community size context (pp)")
+		m      = flag.Int64("m", 50000, "number of edges (er, rmat)")
+		deg    = flag.Int("deg", 16, "average degree (roll) / ring degree (ws)")
+		lgN    = flag.Int("scale2", 14, "log2 vertex count (rmat)")
+		comm   = flag.Int("comm", 50, "communities (pp) / cliques (clique-chain)")
+		csize  = flag.Int("csize", 100, "community size (pp) / clique size (clique-chain)")
+		pin    = flag.Float64("pin", 0.1, "intra-community probability (pp)")
+		pout   = flag.Float64("pout", 0.001, "inter-community probability (pp)")
+		beta   = flag.Float64("beta", 0.1, "rewiring probability (ws)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("o", "", "output path (.txt or .bin); required")
+		statsF = flag.Bool("stats", true, "print the generated graph's statistics")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatal(fmt.Errorf("-o output path is required"))
+	}
+
+	var g *graph.Graph
+	var err error
+	switch {
+	case *ds != "":
+		g, err = dataset.Load(*ds, *scale)
+		if err != nil {
+			fatal(err)
+		}
+	case *kind == "er":
+		g = gen.ErdosRenyi(int32(*n), *m, *seed)
+	case *kind == "roll":
+		g = gen.Roll(int32(*n), int32(*deg), *seed)
+	case *kind == "rmat":
+		g = gen.RMAT(*lgN, *m, 0.57, 0.19, 0.19, *seed)
+	case *kind == "pp":
+		g = gen.PlantedPartition(int32(*comm), int32(*csize), *pin, *pout, *seed)
+	case *kind == "ws":
+		g = gen.WattsStrogatz(int32(*n), int32(*deg), *beta, *seed)
+	case *kind == "clique-chain":
+		g = gen.CliqueChain(int32(*comm), int32(*csize))
+	default:
+		fatal(fmt.Errorf("unknown -kind %q (want er, roll, rmat, pp, ws, clique-chain) and no -dataset given", *kind))
+	}
+
+	if err := graph.SaveFile(*out, g); err != nil {
+		fatal(err)
+	}
+	if *statsF {
+		fmt.Println(graph.ComputeStats(*out, g))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command scanserver serves online structural clustering queries over HTTP
+// — the interactive-exploration application the paper motivates (§1).
+//
+// Usage:
+//
+//	scanserver -dataset orkut-sim -addr :8080
+//	scanserver -graph web.bin -index -addr :8080
+//
+// Endpoints: /healthz, /cluster?eps=&mu=[&algo=&members=true],
+// /vertex?v=&eps=&mu=, /quality?eps=&mu=.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"ppscan"
+	"ppscan/graph"
+	"ppscan/internal/dataset"
+	"ppscan/internal/server"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file to serve (.txt/.bin, optionally .gz)")
+		dsName    = flag.String("dataset", "", "named synthetic dataset (alternative to -graph)")
+		scale     = flag.Float64("scale", 1.0, "dataset scale factor")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "worker goroutines per query (0 = GOMAXPROCS)")
+		useIndex  = flag.Bool("index", false, "build a GS*-Index at startup and serve queries from it")
+		indexFile = flag.String("indexfile", "", "with -index: load the index from this file if it exists, otherwise build and save it there")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	switch {
+	case *graphPath != "":
+		g, err = graph.LoadFile(*graphPath)
+	case *dsName != "":
+		g, err = dataset.Load(*dsName, *scale)
+	default:
+		err = fmt.Errorf("one of -graph or -dataset is required")
+	}
+	if err != nil {
+		log.Fatal("scanserver: ", err)
+	}
+	log.Printf("serving %s", graph.ComputeStats("graph", g))
+
+	srv := server.New(g, *workers)
+	if *useIndex {
+		ix, err := obtainIndex(g, *workers, *indexFile)
+		if err != nil {
+			log.Fatal("scanserver: ", err)
+		}
+		srv = srv.WithIndex(ix)
+	}
+	log.Printf("listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+// obtainIndex loads a cached index file when present, otherwise builds the
+// index (and saves it when a path was given).
+func obtainIndex(g *graph.Graph, workers int, path string) (*ppscan.Index, error) {
+	if path != "" {
+		if f, err := os.Open(path); err == nil {
+			defer f.Close()
+			ix, err := ppscan.LoadIndex(f, g)
+			if err != nil {
+				return nil, fmt.Errorf("loading index %s: %w", path, err)
+			}
+			log.Printf("GS*-Index loaded from %s (%.1f MB)", path, float64(ix.MemoryBytes())/1e6)
+			return ix, nil
+		}
+	}
+	t0 := time.Now()
+	ix := ppscan.BuildIndex(g, workers)
+	log.Printf("GS*-Index built in %v (%.1f MB)", time.Since(t0).Round(time.Millisecond),
+		float64(ix.MemoryBytes())/1e6)
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := ppscan.SaveIndex(f, ix); err != nil {
+			return nil, err
+		}
+		log.Printf("GS*-Index saved to %s", path)
+	}
+	return ix, nil
+}

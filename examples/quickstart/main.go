@@ -1,0 +1,70 @@
+// Quickstart: build a small graph, run ppSCAN, and inspect roles, clusters,
+// hubs and outliers.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppscan"
+	"ppscan/graph"
+)
+
+func main() {
+	// The classic SCAN illustration: two tight communities bridged by a
+	// "hub" vertex (6), with a pendant "outlier" (13).
+	//
+	//	  0--1        7--8
+	//	  |\/|        |\/|
+	//	  |/\|   6    |/\|
+	//	  2--3 /   \  9-10
+	//	  | X |     \ | X|
+	//	  4--5       11-12      13 (attached to 6)
+	edges := []graph.Edge{
+		// community A: vertices 0-5, densely connected
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3},
+		{U: 2, V: 3}, {U: 2, V: 4}, {U: 3, V: 5}, {U: 4, V: 5}, {U: 2, V: 5}, {U: 3, V: 4},
+		// community B: vertices 7-12, densely connected
+		{U: 7, V: 8}, {U: 7, V: 9}, {U: 7, V: 10}, {U: 8, V: 9}, {U: 8, V: 10},
+		{U: 9, V: 10}, {U: 9, V: 11}, {U: 10, V: 12}, {U: 11, V: 12}, {U: 9, V: 12}, {U: 10, V: 11},
+		// vertex 6 bridges the two communities
+		{U: 6, V: 3}, {U: 6, V: 9},
+		// vertex 13 dangles off the bridge
+		{U: 6, V: 13},
+	}
+	g, err := graph.FromEdges(14, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Cluster with epsilon = 0.6, mu = 3: a vertex is a core if at least
+	// 3 neighbors are structurally similar to it.
+	res, err := ppscan.Run(g, ppscan.Options{Epsilon: "0.6", Mu: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("algorithm: %s, runtime: %v, similarity computations: %d\n\n",
+		res.Stats.Algorithm, res.Stats.Total, res.Stats.CompSimCalls)
+
+	fmt.Println("roles:")
+	for v, role := range res.Roles {
+		fmt.Printf("  vertex %2d: %v\n", v, role)
+	}
+
+	fmt.Println("\nclusters:")
+	for id, members := range res.Clusters() {
+		fmt.Printf("  cluster %d: %v\n", id, members)
+	}
+
+	fmt.Println("\nhubs and outliers:")
+	for v, att := range ppscan.ClassifyHubsOutliers(g, res) {
+		if att != ppscan.AttachClustered {
+			fmt.Printf("  vertex %2d: %v\n", v, att)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module ppscan
+
+go 1.22

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList: arbitrary text must never panic, and every accepted
+// graph must satisfy all CSR invariants.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n5 5\n")
+	f.Add("")
+	f.Add("x y\n")
+	f.Add("1000000 2\n")
+	f.Add("3 4 extra\n% c\n4 3\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		for _, compact := range []bool{true, false} {
+			g, err := ReadEdgeList(strings.NewReader(data), compact)
+			if err != nil {
+				continue
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("accepted invalid graph (compact=%v): %v", compact, err)
+			}
+		}
+	})
+}
+
+// FuzzReadBinary: arbitrary bytes must never panic and accepted payloads
+// must validate (ReadBinary validates internally; double-check).
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	g, _ := FromEdges(3, []Edge{{0, 1}, {1, 2}})
+	_ = WriteBinary(&seed, g)
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x47, 0x53, 0x50, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("ReadBinary accepted invalid graph: %v", err)
+		}
+	})
+}
+
+// FuzzRoundTrip: any graph built from fuzzed edges must round-trip both
+// serializations losslessly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8(5), []byte{0, 1, 1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, nRaw uint8, pairs []byte) {
+		n := int32(nRaw%40) + 1
+		var edges []Edge
+		for i := 0; i+1 < len(pairs); i += 2 {
+			edges = append(edges, Edge{int32(pairs[i]) % n, int32(pairs[i+1]) % n})
+		}
+		g, err := FromEdges(n, edges)
+		if err != nil {
+			t.Fatalf("FromEdges on normalized input: %v", err)
+		}
+		var bin bytes.Buffer
+		if err := WriteBinary(&bin, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadBinary(&bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.NumEdges() != g.NumEdges() || g2.NumVertices() != g.NumVertices() {
+			t.Fatalf("binary round trip changed shape")
+		}
+		var txt bytes.Buffer
+		if err := WriteEdgeList(&txt, g); err != nil {
+			t.Fatal(err)
+		}
+		g3, err := ReadEdgeList(&txt, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g3.NumEdges() != g.NumEdges() {
+			t.Fatalf("text round trip changed |E|")
+		}
+	})
+}

@@ -1,0 +1,377 @@
+// Package graph provides the compressed-sparse-row (CSR) undirected graph
+// representation used by all structural clustering algorithms in this module.
+//
+// The representation follows Definition 2.11 of the ppSCAN paper: a graph is
+// a pair of arrays (off, dst) where dst[off[u]:off[u+1]] holds the sorted
+// neighbor list of vertex u. Every undirected edge {u, v} is stored twice,
+// once as (u, v) and once as (v, u). The index of the directed edge (u, v)
+// inside dst is called the edge offset e(u, v); similarity values are stored
+// per edge offset, and the reverse offset e(v, u) is recovered by binary
+// search in v's sorted neighbor list.
+//
+// Graphs are immutable once built. Build one with FromEdges, FromAdjacency,
+// or one of the readers in io.go.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected graph in CSR form.
+//
+// Invariants (checked by Validate):
+//   - len(Off) == NumVertices()+1, Off[0] == 0, Off is non-decreasing.
+//   - len(Dst) == Off[len(Off)-1] and equals twice the number of undirected
+//     edges.
+//   - each neighbor list Dst[Off[u]:Off[u+1]] is strictly increasing (no
+//     duplicate edges), contains no self loop, and every entry is a valid
+//     vertex id.
+//   - the graph is symmetric: v appears in u's list iff u appears in v's.
+type Graph struct {
+	// Off is the offset array; neighbors of u live in Dst[Off[u]:Off[u+1]].
+	Off []int64
+	// Dst is the concatenated, per-vertex-sorted adjacency array.
+	Dst []int32
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int32 {
+	return int32(len(g.Off) - 1)
+}
+
+// NumEdges returns the number of undirected edges |E| (half the length of
+// the directed adjacency array).
+func (g *Graph) NumEdges() int64 {
+	return int64(len(g.Dst)) / 2
+}
+
+// NumDirectedEdges returns len(Dst), i.e. 2|E|.
+func (g *Graph) NumDirectedEdges() int64 {
+	return int64(len(g.Dst))
+}
+
+// Degree returns d[u], the number of neighbors of u.
+func (g *Graph) Degree(u int32) int32 {
+	return int32(g.Off[u+1] - g.Off[u])
+}
+
+// Neighbors returns the sorted neighbor slice of u. The slice aliases the
+// graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(u int32) []int32 {
+	return g.Dst[g.Off[u]:g.Off[u+1]]
+}
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (g *Graph) HasEdge(u, v int32) bool {
+	return g.EdgeOffset(u, v) >= 0
+}
+
+// EdgeOffset returns the directed edge offset e(u, v), i.e. the index i in
+// [Off[u], Off[u+1]) with Dst[i] == v, or -1 when the edge does not exist.
+// It runs a binary search over u's sorted neighbor list, exactly as the
+// reverse-edge-offset computation in pSCAN's similarity-value reuse.
+func (g *Graph) EdgeOffset(u, v int32) int64 {
+	lo, hi := g.Off[u], g.Off[u+1]
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		switch {
+		case g.Dst[mid] < v:
+			lo = mid + 1
+		case g.Dst[mid] > v:
+			hi = mid
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
+// EdgeEndpoint returns the source vertex of the directed edge stored at
+// offset e; that is, the u with Off[u] <= e < Off[u+1]. It is O(log |V|).
+func (g *Graph) EdgeEndpoint(e int64) int32 {
+	// sort.Search finds the first u+1 with Off[u+1] > e.
+	u := sort.Search(len(g.Off)-1, func(i int) bool { return g.Off[i+1] > e })
+	return int32(u)
+}
+
+// MaxDegree returns the maximum vertex degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int32 {
+	var maxd int32
+	for u := int32(0); u < g.NumVertices(); u++ {
+		if d := g.Degree(u); d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// AvgDegree returns the average vertex degree 2|E|/|V|.
+func (g *Graph) AvgDegree() float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return float64(g.NumDirectedEdges()) / float64(n)
+}
+
+// Validate checks every structural invariant of the CSR representation and
+// returns a descriptive error for the first violation found.
+func (g *Graph) Validate() error {
+	if len(g.Off) == 0 {
+		return fmt.Errorf("graph: empty offset array")
+	}
+	if g.Off[0] != 0 {
+		return fmt.Errorf("graph: Off[0] = %d, want 0", g.Off[0])
+	}
+	n := g.NumVertices()
+	for u := int32(0); u < n; u++ {
+		if g.Off[u+1] < g.Off[u] {
+			return fmt.Errorf("graph: Off not monotone at %d: %d > %d", u, g.Off[u], g.Off[u+1])
+		}
+	}
+	if g.Off[n] != int64(len(g.Dst)) {
+		return fmt.Errorf("graph: Off[%d] = %d, want len(Dst) = %d", n, g.Off[n], len(g.Dst))
+	}
+	for u := int32(0); u < n; u++ {
+		nbrs := g.Neighbors(u)
+		for i, v := range nbrs {
+			if v < 0 || v >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", u, v)
+			}
+			if v == u {
+				return fmt.Errorf("graph: self loop at vertex %d", u)
+			}
+			if i > 0 && nbrs[i-1] >= v {
+				return fmt.Errorf("graph: neighbors of %d not strictly increasing at index %d (%d >= %d)",
+					u, i, nbrs[i-1], v)
+			}
+			if g.EdgeOffset(v, u) < 0 {
+				return fmt.Errorf("graph: asymmetric edge (%d,%d): reverse missing", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Edge is an undirected edge for use with FromEdges.
+type Edge struct {
+	U, V int32
+}
+
+// FromEdges builds a Graph with n vertices from an arbitrary undirected edge
+// list. Self loops are dropped, duplicate edges (in either orientation) are
+// merged, and neighbor lists are sorted. It returns an error if any endpoint
+// is outside [0, n).
+func FromEdges(n int32, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	// Normalize: drop self loops, orient u < v, validate range.
+	norm := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		if e.U == e.V {
+			continue
+		}
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		norm = append(norm, e)
+	}
+	sort.Slice(norm, func(i, j int) bool {
+		if norm[i].U != norm[j].U {
+			return norm[i].U < norm[j].U
+		}
+		return norm[i].V < norm[j].V
+	})
+	// Deduplicate.
+	uniq := norm[:0]
+	for i, e := range norm {
+		if i == 0 || e != norm[i-1] {
+			uniq = append(uniq, e)
+		}
+	}
+	return fromOrientedEdges(n, uniq), nil
+}
+
+// fromOrientedEdges assumes edges are deduplicated and oriented u < v.
+func fromOrientedEdges(n int32, edges []Edge) *Graph {
+	deg := make([]int64, n+1)
+	for _, e := range edges {
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	off := make([]int64, n+1)
+	for i := int32(1); i <= n; i++ {
+		off[i] = off[i-1] + deg[i]
+	}
+	dst := make([]int32, off[n])
+	cursor := make([]int64, n)
+	copy(cursor, off[:n])
+	for _, e := range edges {
+		dst[cursor[e.U]] = e.V
+		cursor[e.U]++
+		dst[cursor[e.V]] = e.U
+		cursor[e.V]++
+	}
+	g := &Graph{Off: off, Dst: dst}
+	g.sortAdjacency()
+	return g
+}
+
+// FromAdjacency builds a Graph from an adjacency list representation. The
+// input lists may be unsorted and may contain duplicates or self loops; the
+// union of (u -> v) and (v -> u) entries determines the edge set.
+func FromAdjacency(adj [][]int32) (*Graph, error) {
+	n := int32(len(adj))
+	var edges []Edge
+	for u, nbrs := range adj {
+		for _, v := range nbrs {
+			edges = append(edges, Edge{int32(u), v})
+		}
+	}
+	return FromEdges(n, edges)
+}
+
+func (g *Graph) sortAdjacency() {
+	n := g.NumVertices()
+	for u := int32(0); u < n; u++ {
+		nbrs := g.Dst[g.Off[u]:g.Off[u+1]]
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	}
+}
+
+// Edges returns the undirected edge list with u < v, sorted lexicographically.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.NumEdges())
+	for u := int32(0); u < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				edges = append(edges, Edge{u, v})
+			}
+		}
+	}
+	return edges
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	off := make([]int64, len(g.Off))
+	copy(off, g.Off)
+	dst := make([]int32, len(g.Dst))
+	copy(dst, g.Dst)
+	return &Graph{Off: off, Dst: dst}
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertex set,
+// relabeled to [0, len(vertices)), plus the mapping from new id to old id.
+// Duplicate ids in vertices are an error.
+func (g *Graph) InducedSubgraph(vertices []int32) (*Graph, []int32, error) {
+	newID := make(map[int32]int32, len(vertices))
+	order := make([]int32, len(vertices))
+	for i, v := range vertices {
+		if v < 0 || v >= g.NumVertices() {
+			return nil, nil, fmt.Errorf("graph: vertex %d out of range", v)
+		}
+		if _, dup := newID[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d in subgraph set", v)
+		}
+		newID[v] = int32(i)
+		order[i] = v
+	}
+	var edges []Edge
+	for _, v := range vertices {
+		nv := newID[v]
+		for _, w := range g.Neighbors(v) {
+			if nw, ok := newID[w]; ok && nv < nw {
+				edges = append(edges, Edge{nv, nw})
+			}
+		}
+	}
+	sg, err := FromEdges(int32(len(vertices)), edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sg, order, nil
+}
+
+// ConnectedComponents labels each vertex with a component id in [0, #comps)
+// and returns the labels plus the number of components.
+func (g *Graph) ConnectedComponents() ([]int32, int32) {
+	n := g.NumVertices()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var next int32
+	queue := make([]int32, 0, 64)
+	for s := int32(0); s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = next
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range g.Neighbors(u) {
+				if comp[v] < 0 {
+					comp[v] = next
+					queue = append(queue, v)
+				}
+			}
+		}
+		next++
+	}
+	return comp, next
+}
+
+// Stats summarizes a graph in the shape of Tables 1 and 2 of the paper.
+type Stats struct {
+	Name        string
+	NumVertices int32
+	NumEdges    int64 // directed edge count 2|E|, as reported in the paper's tables
+	AvgDegree   float64
+	MaxDegree   int32
+}
+
+// ComputeStats gathers Table 1/2-style statistics for g.
+func ComputeStats(name string, g *Graph) Stats {
+	return Stats{
+		Name:        name,
+		NumVertices: g.NumVertices(),
+		NumEdges:    g.NumDirectedEdges(),
+		AvgDegree:   g.AvgDegree(),
+		MaxDegree:   g.MaxDegree(),
+	}
+}
+
+// String formats the statistics as a table row.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-16s |V|=%-10d |E|=%-12d d=%-8.1f max d=%d",
+		s.Name, s.NumVertices, s.NumEdges, s.AvgDegree, s.MaxDegree)
+}
+
+// DegreeHistogram returns a map from degree to the number of vertices having
+// that degree.
+func (g *Graph) DegreeHistogram() map[int32]int64 {
+	h := make(map[int32]int64)
+	for u := int32(0); u < g.NumVertices(); u++ {
+		h[g.Degree(u)]++
+	}
+	return h
+}
+
+// SumDegreeSquares returns sum over v of d[v]^2, which bounds SCAN's total
+// similarity workload (Theorem 3.4 states the workload is 2*sum d^2).
+func (g *Graph) SumDegreeSquares() int64 {
+	var s int64
+	for u := int32(0); u < g.NumVertices(); u++ {
+		d := int64(g.Degree(u))
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge-list stream in the SNAP
+// style: one "u v" pair per line, '#' or '%' lines are comments. Vertex ids
+// are arbitrary non-negative integers; they are compacted to [0, n) in order
+// of first appearance when compact is true, otherwise the vertex count is
+// max(id)+1.
+func ReadEdgeList(r io.Reader, compact bool) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	var maxID int32 = -1
+	remap := make(map[int32]int32)
+	mapID := func(raw int32) int32 {
+		if !compact {
+			if raw > maxID {
+				maxID = raw
+			}
+			return raw
+		}
+		if id, ok := remap[raw]; ok {
+			return id
+		}
+		id := int32(len(remap))
+		remap[raw] = id
+		return id
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want at least two fields, got %q", lineNo, line)
+		}
+		u64, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[0], err)
+		}
+		v64, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[1], err)
+		}
+		if u64 < 0 || v64 < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+		}
+		edges = append(edges, Edge{mapID(int32(u64)), mapID(int32(v64))})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scanning edge list: %w", err)
+	}
+	n := maxID + 1
+	if compact {
+		n = int32(len(remap))
+	}
+	return FromEdges(n, edges)
+}
+
+// WriteEdgeList writes the graph as "u v" lines with u < v, one undirected
+// edge per line, preceded by a comment header.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# vertices %d edges %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for u := int32(0); u < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// binaryMagic identifies the binary CSR format ("PSG1": ppSCAN graph v1).
+const binaryMagic = 0x50534731
+
+// WriteBinary serializes the CSR arrays in a compact little-endian binary
+// format: magic, |V|, len(Dst), Off[1..|V|] (int64), Dst (int32). Off[0] is
+// implicit (always zero).
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	hdr := []any{uint32(binaryMagic), int64(g.NumVertices()), int64(len(g.Dst))}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return fmt.Errorf("graph: writing binary header: %w", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Off[1:]); err != nil {
+		return fmt.Errorf("graph: writing offsets: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Dst); err != nil {
+		return fmt.Errorf("graph: writing adjacency: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary and validates it.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	var n, m int64
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("graph: reading binary magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("graph: reading vertex count: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("graph: reading edge count: %w", err)
+	}
+	if n < 0 || m < 0 || m%2 != 0 {
+		return nil, fmt.Errorf("graph: implausible sizes n=%d m=%d", n, m)
+	}
+	off := make([]int64, n+1)
+	if err := binary.Read(br, binary.LittleEndian, off[1:]); err != nil {
+		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	}
+	dst := make([]int32, m)
+	if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
+		return nil, fmt.Errorf("graph: reading adjacency: %w", err)
+	}
+	g := &Graph{Off: off, Dst: dst}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: binary payload invalid: %w", err)
+	}
+	return g, nil
+}
+
+// LoadFile reads a graph from path. The format is chosen by extension:
+// ".bin" selects the binary CSR format, anything else the text edge-list
+// format; a final ".gz" extension (e.g. ".txt.gz", ".bin.gz") transparently
+// gunzips first.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	base := path
+	if strings.HasSuffix(base, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("graph: opening gzip stream: %w", err)
+		}
+		defer zr.Close()
+		r = zr
+		base = strings.TrimSuffix(base, ".gz")
+	}
+	if strings.HasSuffix(base, ".bin") {
+		return ReadBinary(r)
+	}
+	return ReadEdgeList(r, true)
+}
+
+// SaveFile writes a graph to path, choosing the format by extension as in
+// LoadFile (including transparent gzip for ".gz").
+func SaveFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var w io.Writer = f
+	base := path
+	var zw *gzip.Writer
+	if strings.HasSuffix(base, ".gz") {
+		zw = gzip.NewWriter(f)
+		w = zw
+		base = strings.TrimSuffix(base, ".gz")
+	}
+	if strings.HasSuffix(base, ".bin") {
+		err = WriteBinary(w, g)
+	} else {
+		err = WriteEdgeList(w, g)
+	}
+	if err != nil {
+		return err
+	}
+	if zw != nil {
+		return zw.Close()
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package graph
+
+// KCoreDecomposition computes each vertex's coreness: the largest k such
+// that the vertex belongs to the k-core (the maximal subgraph in which
+// every vertex has degree ≥ k). It runs the standard peeling algorithm in
+// O(|V| + |E|) using bucketed degrees.
+//
+// Coreness is a useful companion statistic to structural clustering: SCAN
+// cores at high µ are necessarily high-coreness vertices, and dataset
+// characterization tables often report the maximum coreness (degeneracy).
+func (g *Graph) KCoreDecomposition() []int32 {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	deg := make([]int32, n)
+	maxDeg := int32(0)
+	for u := int32(0); u < n; u++ {
+		deg[u] = g.Degree(u)
+		if deg[u] > maxDeg {
+			maxDeg = deg[u]
+		}
+	}
+	// Bucket sort vertices by degree.
+	bin := make([]int32, maxDeg+2)
+	for u := int32(0); u < n; u++ {
+		bin[deg[u]]++
+	}
+	start := int32(0)
+	for d := int32(0); d <= maxDeg; d++ {
+		count := bin[d]
+		bin[d] = start
+		start += count
+	}
+	pos := make([]int32, n)  // vertex -> position in vert
+	vert := make([]int32, n) // sorted by current degree
+	for u := int32(0); u < n; u++ {
+		pos[u] = bin[deg[u]]
+		vert[pos[u]] = u
+		bin[deg[u]]++
+	}
+	// Restore bin starts.
+	for d := maxDeg; d >= 1; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+	// Peel in increasing degree order.
+	core := make([]int32, n)
+	for i := int32(0); i < n; i++ {
+		u := vert[i]
+		core[u] = deg[u]
+		for _, v := range g.Neighbors(u) {
+			if deg[v] > deg[u] {
+				// Move v one bucket down: swap it with the first vertex of
+				// its current bucket.
+				dv := deg[v]
+				pv := pos[v]
+				pw := bin[dv]
+				w := vert[pw]
+				if v != w {
+					vert[pv], vert[pw] = w, v
+					pos[v], pos[w] = pw, pv
+				}
+				bin[dv]++
+				deg[v]--
+			}
+		}
+	}
+	return core
+}
+
+// Degeneracy returns the maximum coreness (the degeneracy of the graph).
+func (g *Graph) Degeneracy() int32 {
+	var d int32
+	for _, c := range g.KCoreDecomposition() {
+		if c > d {
+			d = c
+		}
+	}
+	return d
+}

@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteCoreness computes coreness by repeated peeling (O(V^2 E), for tiny
+// graphs only).
+func bruteCoreness(g *Graph) []int32 {
+	n := g.NumVertices()
+	core := make([]int32, n)
+	alive := make([]bool, n)
+	deg := make([]int32, n)
+	for k := int32(0); ; k++ {
+		// Start from the full graph each round; peel everything < k.
+		for u := int32(0); u < n; u++ {
+			alive[u] = true
+			deg[u] = g.Degree(u)
+		}
+		changed := true
+		for changed {
+			changed = false
+			for u := int32(0); u < n; u++ {
+				if alive[u] && deg[u] < k {
+					alive[u] = false
+					changed = true
+					for _, v := range g.Neighbors(u) {
+						if alive[v] {
+							deg[v]--
+						}
+					}
+				}
+			}
+		}
+		any := false
+		for u := int32(0); u < n; u++ {
+			if alive[u] {
+				core[u] = k
+				any = true
+			}
+		}
+		if !any {
+			return core
+		}
+	}
+}
+
+func TestKCoreKnownShapes(t *testing.T) {
+	// Clique K5: everyone coreness 4.
+	clique, _ := FromEdges(5, []Edge{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}})
+	for u, c := range clique.KCoreDecomposition() {
+		if c != 4 {
+			t.Errorf("K5 coreness of %d = %d", u, c)
+		}
+	}
+	if clique.Degeneracy() != 4 {
+		t.Errorf("K5 degeneracy = %d", clique.Degeneracy())
+	}
+	// Star: hub and leaves all coreness 1.
+	star, _ := FromEdges(5, []Edge{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	for u, c := range star.KCoreDecomposition() {
+		if c != 1 {
+			t.Errorf("star coreness of %d = %d", u, c)
+		}
+	}
+	// Path: coreness 1 everywhere; isolated vertex coreness 0.
+	path, _ := FromEdges(4, []Edge{{0, 1}, {1, 2}})
+	want := []int32{1, 1, 1, 0}
+	for u, c := range path.KCoreDecomposition() {
+		if c != want[u] {
+			t.Errorf("path coreness of %d = %d, want %d", u, c, want[u])
+		}
+	}
+	// Empty graph.
+	empty, _ := FromEdges(0, nil)
+	if got := empty.KCoreDecomposition(); got != nil {
+		t.Errorf("empty decomposition = %v", got)
+	}
+}
+
+func TestKCoreCliquePlusTail(t *testing.T) {
+	// K4 with a pendant path: clique members coreness 3, path coreness 1.
+	g, _ := FromEdges(6, []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}})
+	core := g.KCoreDecomposition()
+	for u := int32(0); u < 4; u++ {
+		if core[u] != 3 {
+			t.Errorf("clique member %d coreness = %d, want 3", u, core[u])
+		}
+	}
+	if core[4] != 1 || core[5] != 1 {
+		t.Errorf("tail coreness = %d, %d, want 1, 1", core[4], core[5])
+	}
+}
+
+func TestKCoreMatchesBruteQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int32(rng.Intn(30) + 2)
+		m := rng.Intn(120)
+		edges := make([]Edge, m)
+		for i := range edges {
+			edges[i] = Edge{int32(rng.Intn(int(n))), int32(rng.Intn(int(n)))}
+		}
+		g, err := FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		fast := g.KCoreDecomposition()
+		slow := bruteCoreness(g)
+		for u := range fast {
+			if fast[u] != slow[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKCoreInvariants(t *testing.T) {
+	g := randomGraph(t, 200, 1500, 77)
+	core := g.KCoreDecomposition()
+	for u := int32(0); u < g.NumVertices(); u++ {
+		if core[u] > g.Degree(u) {
+			t.Fatalf("coreness of %d exceeds its degree", u)
+		}
+		// Each vertex has >= core[u] neighbors with coreness >= core[u].
+		cnt := int32(0)
+		for _, v := range g.Neighbors(u) {
+			if core[v] >= core[u] {
+				cnt++
+			}
+		}
+		if cnt < core[u] {
+			t.Fatalf("vertex %d: only %d neighbors at coreness >= %d", u, cnt, core[u])
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdgesParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		n := int32(rng.Intn(200) + 1)
+		m := rng.Intn(2000)
+		edges := make([]Edge, m)
+		for i := range edges {
+			edges[i] = Edge{int32(rng.Intn(int(n))), int32(rng.Intn(int(n)))}
+		}
+		want, err := FromEdges(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 5, 16} {
+			got, err := FromEdgesParallel(n, edges, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want.Off, got.Off) || !reflect.DeepEqual(want.Dst, got.Dst) {
+				t.Fatalf("trial %d workers %d: parallel builder differs", trial, workers)
+			}
+		}
+	}
+}
+
+func TestFromEdgesParallelErrors(t *testing.T) {
+	if _, err := FromEdgesParallel(-1, nil, 2); err == nil {
+		t.Errorf("negative n accepted")
+	}
+	if _, err := FromEdgesParallel(2, []Edge{{0, 5}}, 2); err == nil {
+		t.Errorf("out-of-range edge accepted")
+	}
+	if _, err := FromEdgesParallel(2, []Edge{{-1, 0}}, 2); err == nil {
+		t.Errorf("negative endpoint accepted")
+	}
+}
+
+func TestFromEdgesParallelEmpty(t *testing.T) {
+	g, err := FromEdgesParallel(0, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Errorf("empty parallel build wrong")
+	}
+	g, err = FromEdgesParallel(5, []Edge{{1, 1}, {2, 2}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("self loops survived: %d", g.NumEdges())
+	}
+}
+
+func TestFromEdgesParallelQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint8, mRaw uint16, wRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int32(nRaw%60) + 1
+		m := int(mRaw % 600)
+		edges := make([]Edge, m)
+		for i := range edges {
+			edges[i] = Edge{int32(rng.Intn(int(n))), int32(rng.Intn(int(n)))}
+		}
+		want, err := FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		got, err := FromEdgesParallel(n, edges, int(wRaw%8)+1)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(want.Off, got.Off) && reflect.DeepEqual(want.Dst, got.Dst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFromEdgesSequential(b *testing.B) {
+	edges := benchEdges(1 << 17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromEdges(1<<14, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFromEdgesParallel(b *testing.B) {
+	edges := benchEdges(1 << 17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromEdgesParallel(1<<14, edges, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEdges(m int) []Edge {
+	rng := rand.New(rand.NewSource(1))
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{int32(rng.Intn(1 << 14)), int32(rng.Intn(1 << 14))}
+	}
+	return edges
+}

@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRelabelIdentity(t *testing.T) {
+	g := randomGraph(t, 40, 150, 21)
+	perm := make([]int32, g.NumVertices())
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	h, err := g.Relabel(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != g.NumEdges() {
+		t.Fatalf("identity relabel changed |E|")
+	}
+	for u := int32(0); u < g.NumVertices(); u++ {
+		if g.Degree(u) != h.Degree(u) {
+			t.Fatalf("identity relabel changed degree of %d", u)
+		}
+	}
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	g := randomGraph(t, 50, 200, 22)
+	rng := rand.New(rand.NewSource(9))
+	perm := make([]int32, g.NumVertices())
+	for i, p := range rng.Perm(int(g.NumVertices())) {
+		perm[i] = int32(p)
+	}
+	h, err := g.Relabel(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != g.NumEdges() {
+		t.Fatalf("|E| changed: %d -> %d", g.NumEdges(), h.NumEdges())
+	}
+	for u := int32(0); u < g.NumVertices(); u++ {
+		if g.Degree(u) != h.Degree(perm[u]) {
+			t.Fatalf("degree of %d not preserved", u)
+		}
+		for _, v := range g.Neighbors(u) {
+			if !h.HasEdge(perm[u], perm[v]) {
+				t.Fatalf("edge (%d,%d) lost", u, v)
+			}
+		}
+	}
+}
+
+func TestRelabelRejectsBadPermutations(t *testing.T) {
+	g := randomGraph(t, 10, 20, 23)
+	cases := [][]int32{
+		{0, 1},                          // wrong length
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 8},  // duplicate
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 10}, // out of range
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, -1}, // negative
+	}
+	for _, perm := range cases {
+		if _, err := g.Relabel(perm); err == nil {
+			t.Errorf("Relabel accepted bad permutation %v", perm)
+		}
+	}
+}
+
+func TestDegreeOrderPermutation(t *testing.T) {
+	g := randomGraph(t, 60, 300, 24)
+	perm := g.DegreeOrderPermutation()
+	h, err := g.Relabel(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u+1 < h.NumVertices(); u++ {
+		if h.Degree(u) < h.Degree(u+1) {
+			t.Fatalf("degrees not non-increasing at %d: %d < %d", u, h.Degree(u), h.Degree(u+1))
+		}
+	}
+}
+
+func TestBFSOrderPermutation(t *testing.T) {
+	// Path: BFS from 0 keeps order; BFS from middle spreads outward.
+	g, _ := FromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	perm := g.BFSOrderPermutation(2)
+	if perm[2] != 0 {
+		t.Fatalf("root not first: %v", perm)
+	}
+	// Neighbors of the root get labels 1 and 2.
+	if perm[1]+perm[3] != 3 || perm[1] == perm[3] {
+		t.Fatalf("BFS frontier labels wrong: %v", perm)
+	}
+	// All labels distinct and in range.
+	seen := map[int32]bool{}
+	for _, p := range perm {
+		if p < 0 || p >= 5 || seen[p] {
+			t.Fatalf("invalid permutation %v", perm)
+		}
+		seen[p] = true
+	}
+	// Disconnected graph: unreached vertices still labeled.
+	g2, _ := FromEdges(4, []Edge{{0, 1}})
+	perm2 := g2.BFSOrderPermutation(0)
+	seen = map[int32]bool{}
+	for _, p := range perm2 {
+		if p < 0 || p >= 4 || seen[p] {
+			t.Fatalf("invalid permutation %v", perm2)
+		}
+		seen[p] = true
+	}
+	// Out-of-range root falls back to natural order.
+	perm3 := g2.BFSOrderPermutation(-1)
+	for i, p := range perm3 {
+		if p != int32(i) {
+			t.Fatalf("fallback order wrong: %v", perm3)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package anyscan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ppscan/internal/algotest"
+	"ppscan/internal/intersect"
+	"ppscan/internal/result"
+	"ppscan/internal/scan"
+	"ppscan/internal/simdef"
+)
+
+func TestGroundTruthCorpus(t *testing.T) {
+	for _, tc := range algotest.Corpus() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			for _, th := range algotest.Params() {
+				r := Run(tc.G, th, Options{Workers: 4, BlockSize: 32})
+				if err := algotest.CheckGroundTruth(tc.G, r, th); err != nil {
+					t.Fatalf("%s: %v", tc.Name, err)
+				}
+			}
+		})
+	}
+}
+
+func TestMatchesSCAN(t *testing.T) {
+	f := func(seed int64, wRaw, bRaw uint8) bool {
+		g := algotest.RandomGraph(seed)
+		th := algotest.RandomThreshold(seed)
+		want := scan.Run(g, th, scan.Options{Kernel: intersect.Merge})
+		got := Run(g, th, Options{
+			Workers:   int(wRaw%6) + 1,
+			BlockSize: int32(bRaw%100) + 1,
+		})
+		return result.Equal(want, got) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockSizeIndependence(t *testing.T) {
+	g := algotest.RandomGraph(61)
+	th, _ := simdef.NewThreshold("0.5", 3)
+	base := Run(g, th, Options{Workers: 3, BlockSize: 1})
+	for _, bs := range []int32{2, 17, 1 << 20} {
+		r := Run(g, th, Options{Workers: 3, BlockSize: bs})
+		if err := result.Equal(base, r); err != nil {
+			t.Errorf("block size %d changes output: %v", bs, err)
+		}
+	}
+}
+
+func TestRedundantWorkload(t *testing.T) {
+	// The surrogate reproduces anySCAN's redundancy: every directed edge is
+	// computed in core checking (2|E|) plus core->non-core edges again in
+	// finalization, so calls >= 2|E|, strictly more than ppSCAN's <= |E|.
+	g := algotest.RandomGraph(63)
+	th, _ := simdef.NewThreshold("0.5", 5)
+	r := Run(g, th, Options{Workers: 2})
+	if r.Stats.CompSimCalls < g.NumDirectedEdges() {
+		t.Errorf("CompSimCalls = %d, want >= %d", r.Stats.CompSimCalls, g.NumDirectedEdges())
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := algotest.RandomGraph(65)
+	th, _ := simdef.NewThreshold("0.4", 2)
+	r := Run(g, th, Options{Workers: 2})
+	if r.Stats.Algorithm != "anySCAN" || r.Stats.Workers != 2 || r.Stats.Total <= 0 {
+		t.Errorf("stats = %+v", r.Stats)
+	}
+}

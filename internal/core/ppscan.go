@@ -1,0 +1,449 @@
+// Package core implements ppSCAN, the paper's primary contribution: a
+// multi-phase, lock-free parallelization of pruning-based structural graph
+// clustering (Algorithms 3 and 4), scheduled with degree-based dynamic
+// tasks (Algorithm 5) and using the pivot-based vectorized set-intersection
+// kernel (Algorithm 6) for similarity computation.
+//
+// The computation runs in seven phases with barriers between them:
+//
+//	Role computing (Algorithm 3)
+//	  P1 PruneSim         — similarity-predicate pruning, role init
+//	  P2 CheckCore        — min-max pruning with the u < v constraint
+//	  P3 ConsolidateCore  — same logic without the constraint
+//	Core and non-core clustering (Algorithm 4)
+//	  P4 ClusterCore without CompSim — unions over already-known Sim edges
+//	  P5 ClusterCore with CompSim    — unions needing new intersections
+//	  P6 InitClusterID               — CAS minimum-core-id per set
+//	  P7 ClusterNonCore              — pipelined membership emission
+//
+// Shared mutable state across threads is confined to: the per-edge
+// similarity array (atomic int32), the wait-free union-find, the CAS'd
+// cluster-id array, and the pipelined membership channel. Per Theorem 4.1
+// each edge's similarity is computed at most once; the u < v constraints
+// make each edge's writer unique within every phase, so the atomics carry
+// no retry loops — the design is lock-free end to end.
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ppscan/graph"
+	"ppscan/internal/intersect"
+	"ppscan/internal/result"
+	"ppscan/internal/sched"
+	"ppscan/internal/simdef"
+	"ppscan/internal/unionfind"
+)
+
+// Options configures a ppSCAN run.
+type Options struct {
+	// Kernel selects the set-intersection kernel. The paper's ppSCAN uses
+	// the pivot-based vectorized kernel (intersect.PivotBlock16 on the
+	// AVX512/KNL profile, PivotBlock8 on the AVX2/CPU profile); ppSCAN-NO
+	// uses intersect.MergeEarly.
+	Kernel intersect.Kind
+	// Workers is the number of worker goroutines per phase; < 1 defaults
+	// to runtime.GOMAXPROCS(0).
+	Workers int
+	// DegreeThreshold is the task-granularity constant of Algorithm 5;
+	// < 1 defaults to sched.DefaultDegreeThreshold (32768).
+	DegreeThreshold int64
+	// StaticScheduling replaces the degree-based dynamic scheduler with
+	// fixed equal-size vertex blocks. Ablation knob for the scheduler
+	// experiment; the paper's ppSCAN always uses dynamic scheduling.
+	StaticScheduling bool
+	// NonCoreBatch is the pipelined non-core clustering batch size; < 1
+	// defaults to 1024 pairs per flush.
+	NonCoreBatch int
+}
+
+// DefaultOptions returns the paper-faithful configuration: 16-lane pivot
+// kernel, all processors, degree threshold 32768, dynamic scheduling.
+func DefaultOptions() Options {
+	return Options{Kernel: intersect.PivotBlock16}
+}
+
+func (o Options) normalized() Options {
+	if o.Workers < 1 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.DegreeThreshold < 1 {
+		o.DegreeThreshold = sched.DefaultDegreeThreshold
+	}
+	if o.NonCoreBatch < 1 {
+		o.NonCoreBatch = 1024
+	}
+	return o
+}
+
+// Run executes ppSCAN on g with threshold th.
+func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
+	opt = opt.normalized()
+	start := time.Now()
+	n := g.NumVertices()
+	s := &state{
+		g:        g,
+		th:       th,
+		opt:      opt,
+		roles:    make([]result.Role, n),
+		sim:      make([]int32, g.NumDirectedEdges()),
+		uf:       unionfind.NewConcurrent(n),
+		workerCt: make([]paddedCounter, opt.Workers),
+	}
+
+	var phaseTimes [result.NumPhases]time.Duration
+
+	// --- Step 1: role computing (Algorithm 3) ---------------------------
+	t0 := time.Now()
+	s.forEach(func(int32) bool { return true }, s.pruneSim)
+	phaseTimes[result.PhasePruning] = time.Since(t0)
+
+	t0 = time.Now()
+	s.phase = result.PhaseCheckCore
+	s.forEach(s.roleUnknown, s.checkCore)
+	s.forEach(s.roleUnknown, s.consolidateCore)
+	phaseTimes[result.PhaseCheckCore] = time.Since(t0)
+
+	// --- Step 2: core and non-core clustering (Algorithm 4) -------------
+	t0 = time.Now()
+	s.phase = result.PhaseClusterCore
+	s.forEach(s.isCore, s.clusterCoreWithoutCompSim)
+	s.forEach(s.isCore, s.clusterCoreWithCompSim)
+	// P6: cluster-id initialization with CAS (Algorithm 4, InitClusterId).
+	s.clusterID = make([]int32, n)
+	for i := range s.clusterID {
+		s.clusterID[i] = -1
+	}
+	s.forEach(s.isCore, s.initClusterID)
+	phaseTimes[result.PhaseClusterCore] = time.Since(t0)
+
+	// Materialize per-core cluster ids (read-only from here on).
+	coreClusterID := make([]int32, n)
+	for u := int32(0); u < n; u++ {
+		if s.roles[u] == result.RoleCore {
+			coreClusterID[u] = s.clusterID[s.uf.Find(u)]
+		} else {
+			coreClusterID[u] = -1
+		}
+	}
+	s.coreClusterID = coreClusterID
+
+	t0 = time.Now()
+	s.phase = result.PhaseClusterNonCore
+	nonCore := s.clusterNonCorePipelined()
+	phaseTimes[result.PhaseClusterNonCore] = time.Since(t0)
+
+	res := &result.Result{
+		Eps:           th.Eps.String(),
+		Mu:            th.Mu,
+		Roles:         s.roles,
+		CoreClusterID: coreClusterID,
+		NonCore:       nonCore,
+	}
+	res.Normalize()
+	var calls int64
+	var byPhase [result.NumPhases]int64
+	for i := range s.workerCt {
+		for p, n := range s.workerCt[i].n {
+			calls += n
+			byPhase[p] += n
+		}
+	}
+	res.Stats = result.Stats{
+		Algorithm:      "ppSCAN",
+		Workers:        opt.Workers,
+		CompSimCalls:   calls,
+		CompSimByPhase: byPhase,
+		PhaseTimes:     phaseTimes,
+		Total:          time.Since(start),
+	}
+	return res
+}
+
+// paddedCounter avoids false sharing between per-worker counters; calls
+// are attributed to the stage active when they happen.
+type paddedCounter struct {
+	n [result.NumPhases]int64
+	_ [4]int64
+}
+
+type state struct {
+	g             *graph.Graph
+	th            simdef.Threshold
+	opt           Options
+	roles         []result.Role
+	sim           []int32 // simdef.EdgeSim values, accessed atomically
+	uf            *unionfind.Concurrent
+	clusterID     []int32 // per union-find root, CAS'd in P6
+	coreClusterID []int32 // per vertex, read-only after P6
+	workerCt      []paddedCounter
+	// phase is the stage currently attributed for CompSim counting; set by
+	// the coordinating goroutine between phases (before workers spawn, so
+	// the happens-before edge is the task submission).
+	phase result.PhaseID
+}
+
+func (s *state) loadSim(e int64) simdef.EdgeSim {
+	return simdef.EdgeSim(atomic.LoadInt32(&s.sim[e]))
+}
+
+func (s *state) storeSim(e int64, v simdef.EdgeSim) {
+	atomic.StoreInt32(&s.sim[e], int32(v))
+}
+
+// forEach runs one parallel phase over all vertices satisfying need, using
+// Algorithm 5's degree-based dynamic scheduling (or static blocks for the
+// ablation).
+func (s *state) forEach(need func(int32) bool, process func(u int32, worker int)) {
+	n := s.g.NumVertices()
+	if s.opt.StaticScheduling {
+		sched.ForEachVertexStatic(s.opt.Workers, n, func(u int32, w int) {
+			if need(u) {
+				process(u, w)
+			}
+		})
+		return
+	}
+	sched.ForEachVertex(sched.Options{
+		Workers:         s.opt.Workers,
+		DegreeThreshold: s.opt.DegreeThreshold,
+	}, n, need, s.g.Degree, process)
+}
+
+func (s *state) roleUnknown(u int32) bool { return s.roles[u] == result.RoleUnknown }
+func (s *state) isCore(u int32) bool      { return s.roles[u] == result.RoleCore }
+
+// compSim evaluates one structural similarity with the configured kernel.
+func (s *state) compSim(u, v int32, worker int) simdef.EdgeSim {
+	g := s.g
+	c := s.th.Eps.MinCN(g.Degree(u), g.Degree(v))
+	s.workerCt[worker].n[s.phase]++
+	return intersect.CompSim(s.opt.Kernel, g.Neighbors(u), g.Neighbors(v), c)
+}
+
+// pruneSim is Algorithm 3's PruneSim(u): label edges by the similarity
+// predicate pruning rules and initialize u's role from the labels.
+func (s *state) pruneSim(u int32, worker int) {
+	g := s.g
+	du := g.Degree(u)
+	sd, ed := int32(0), du
+	uOff := g.Off[u]
+	for i, v := range g.Neighbors(u) {
+		e := uOff + int64(i)
+		switch s.th.Eps.PruneResult(du, g.Degree(v)) {
+		case simdef.Sim:
+			s.storeSim(e, simdef.Sim)
+			sd++
+		case simdef.NSim:
+			s.storeSim(e, simdef.NSim)
+			ed--
+		}
+	}
+	switch {
+	case sd >= s.th.Mu:
+		s.roles[u] = result.RoleCore
+	case ed < s.th.Mu:
+		s.roles[u] = result.RoleNonCore
+	default:
+		s.roles[u] = result.RoleUnknown
+	}
+}
+
+// checkCore is Algorithm 3's CheckCore(u): re-derive local sd/ed from known
+// similarity labels, then compute unknown similarities under the u < v
+// constraint, with min-max early termination. The role may remain Unknown
+// (resolved by consolidateCore).
+func (s *state) checkCore(u int32, worker int) {
+	s.roleScan(u, worker, true)
+}
+
+// consolidateCore is Algorithm 3's ConsolidateCore(u): CheckCore without
+// the u < v constraint. After it, u's role is definitely known: every
+// needed similarity is either already labeled or computed here.
+func (s *state) consolidateCore(u int32, worker int) {
+	s.roleScan(u, worker, false)
+	if s.roles[u] == result.RoleUnknown {
+		// All similarities known and neither bound fired early: sd is now
+		// exact, decide directly (sd == ed here).
+		panic("core: role still unknown after consolidation")
+	}
+}
+
+// roleScan implements the shared body of CheckCore/ConsolidateCore.
+func (s *state) roleScan(u int32, worker int, onlyGreater bool) {
+	g := s.g
+	mu := s.th.Mu
+	du := g.Degree(u)
+	sd, ed := int32(0), du
+	uOff := g.Off[u]
+	nbrs := g.Neighbors(u)
+	// Pass 1 (Algorithm 3 lines 22-30): fold in known labels.
+	for i := range nbrs {
+		switch s.loadSim(uOff + int64(i)) {
+		case simdef.Sim:
+			sd++
+			if sd >= mu {
+				s.roles[u] = result.RoleCore
+				return
+			}
+		case simdef.NSim:
+			ed--
+			if ed < mu {
+				s.roles[u] = result.RoleNonCore
+				return
+			}
+		}
+	}
+	// Pass 2 (lines 31-33): compute unknown similarities.
+	for i, v := range nbrs {
+		if onlyGreater && v <= u {
+			continue
+		}
+		e := uOff + int64(i)
+		if s.loadSim(e) != simdef.Unknown {
+			continue
+		}
+		val := s.compSim(u, v, worker)
+		// Similarity-value reuse: publish the reverse edge first so the
+		// owner of v can pick it up in its own pass 1.
+		s.storeSim(g.EdgeOffset(v, u), val)
+		s.storeSim(e, val)
+		if val == simdef.Sim {
+			sd++
+			if sd >= mu {
+				s.roles[u] = result.RoleCore
+				return
+			}
+		} else {
+			ed--
+			if ed < mu {
+				s.roles[u] = result.RoleNonCore
+				return
+			}
+		}
+	}
+	if !onlyGreater {
+		// Every edge labeled, no bound fired: sd is the exact similar
+		// count and it is < mu (otherwise we'd have returned).
+		s.roles[u] = result.RoleNonCore
+	}
+	// With the u < v constraint the role may legitimately stay Unknown.
+}
+
+// clusterCoreWithoutCompSim is Algorithm 4 lines 9-11: union adjacent cores
+// over already-known Sim edges, building small clusters that power the
+// union-find pruning of the next phase.
+func (s *state) clusterCoreWithoutCompSim(u int32, worker int) {
+	g := s.g
+	uOff := g.Off[u]
+	for i, v := range g.Neighbors(u) {
+		if u >= v || s.roles[v] != result.RoleCore {
+			continue
+		}
+		if s.loadSim(uOff+int64(i)) != simdef.Sim {
+			continue
+		}
+		if s.uf.Same(u, v) {
+			continue
+		}
+		s.uf.Union(u, v)
+	}
+}
+
+// clusterCoreWithCompSim is Algorithm 4 lines 12-16: compute the remaining
+// unknown core-core similarities (skipping pairs already clustered, the
+// union-find pruning) and union on Sim.
+func (s *state) clusterCoreWithCompSim(u int32, worker int) {
+	g := s.g
+	uOff := g.Off[u]
+	for i, v := range g.Neighbors(u) {
+		if u >= v || s.roles[v] != result.RoleCore {
+			continue
+		}
+		e := uOff + int64(i)
+		if s.loadSim(e) != simdef.Unknown {
+			continue
+		}
+		if s.uf.Same(u, v) {
+			continue
+		}
+		val := s.compSim(u, v, worker)
+		s.storeSim(g.EdgeOffset(v, u), val)
+		s.storeSim(e, val)
+		if val == simdef.Sim {
+			s.uf.Union(u, v)
+		}
+	}
+}
+
+// initClusterID is Algorithm 4 lines 17-23: CAS the minimum core id into
+// the cluster-id slot of u's union-find root.
+func (s *state) initClusterID(u int32, worker int) {
+	ru := s.uf.Find(u)
+	for {
+		cur := atomic.LoadInt32(&s.clusterID[ru])
+		if cur >= 0 && u >= cur {
+			return
+		}
+		if atomic.CompareAndSwapInt32(&s.clusterID[ru], cur, u) {
+			return
+		}
+	}
+}
+
+// clusterNonCorePipelined is Algorithm 4 lines 24-29 with the paper's
+// pipelined design: workers emit (non-core, cluster-id) pairs into
+// per-worker batches that are flushed to a collector goroutine, overlapping
+// membership computation with the copy-back to the global array.
+func (s *state) clusterNonCorePipelined() []result.Membership {
+	g := s.g
+	batches := make(chan []result.Membership, 4*s.opt.Workers)
+	var collected []result.Membership
+	var collectorWG sync.WaitGroup
+	collectorWG.Add(1)
+	go func() {
+		defer collectorWG.Done()
+		for b := range batches {
+			collected = append(collected, b...)
+		}
+	}()
+
+	local := make([][]result.Membership, s.opt.Workers)
+	flush := func(w int) {
+		if len(local[w]) > 0 {
+			batches <- local[w]
+			local[w] = nil
+		}
+	}
+	s.forEach(s.isCore, func(u int32, w int) {
+		id := s.coreClusterID[u]
+		uOff := g.Off[u]
+		for i, v := range g.Neighbors(u) {
+			if s.roles[v] != result.RoleNonCore {
+				continue
+			}
+			e := uOff + int64(i)
+			sim := s.loadSim(e)
+			if sim == simdef.Unknown {
+				sim = s.compSim(u, v, w)
+				s.storeSim(g.EdgeOffset(v, u), sim)
+				s.storeSim(e, sim)
+			}
+			if sim == simdef.Sim {
+				local[w] = append(local[w], result.Membership{V: v, ClusterID: id})
+				if len(local[w]) >= s.opt.NonCoreBatch {
+					flush(w)
+				}
+			}
+		}
+	})
+	for w := range local {
+		flush(w)
+	}
+	close(batches)
+	collectorWG.Wait()
+	return collected
+}

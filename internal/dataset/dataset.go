@@ -1,0 +1,220 @@
+// Package dataset defines the synthetic surrogate workloads standing in for
+// the paper's evaluation graphs, plus a process-wide cache so experiments
+// and benchmarks reuse built graphs.
+//
+// The paper evaluates on four real-world graphs (Table 1: orkut, webbase,
+// twitter, friendster from SNAP/WebGraph; plus livejournal in Figure 1) and
+// four 1-billion-edge ROLL scale-free graphs (Table 2). Those inputs are
+// 10⁸–10⁹ edges and not available offline, so each is substituted by a
+// deterministic generator configured to preserve the *relative* structural
+// character the experiments depend on — community richness, degree skew,
+// sparsity — at a scale where every figure regenerates in seconds to
+// minutes on one machine (see DESIGN.md §2).
+//
+// All sizes scale linearly with the Scale parameter (1.0 = default size,
+// 0.1 = quick test size).
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ppscan/graph"
+	"ppscan/internal/gen"
+)
+
+// Spec describes one surrogate dataset.
+type Spec struct {
+	// Name is the dataset key, e.g. "orkut-sim".
+	Name string
+	// PaperName is the paper's dataset this one substitutes.
+	PaperName string
+	// Character summarizes the structural property being preserved.
+	Character string
+	// Build constructs the graph at the given scale (1.0 = full surrogate
+	// size).
+	Build func(scale float64) *graph.Graph
+}
+
+func scaled(base int32, scale float64) int32 {
+	v := int32(float64(base) * scale)
+	if v < 16 {
+		v = 16
+	}
+	return v
+}
+
+var specs = []Spec{
+	{
+		Name:      "livejournal-sim",
+		PaperName: "livejournal",
+		Character: "social network, strong communities, moderate skew",
+		Build: func(s float64) *graph.Graph {
+			return gen.PlantedPartition(scaled(80, s), 150, 0.055, 0.0004, 1001)
+		},
+	},
+	{
+		Name:      "orkut-sim",
+		PaperName: "orkut",
+		Character: "dense social network, community-rich (paper d=76.3)",
+		Build: func(s float64) *graph.Graph {
+			return gen.PlantedPartition(scaled(100, s), 200, 0.06, 0.0005, 1002)
+		},
+	},
+	{
+		Name:      "webbase-sim",
+		PaperName: "webbase",
+		Character: "sparse web graph, d=8.9, strong pruning behaviour",
+		Build: func(s float64) *graph.Graph {
+			return gen.Roll(scaled(60000, s), 8, 1003)
+		},
+	},
+	{
+		Name:      "twitter-sim",
+		PaperName: "twitter",
+		Character: "heavy-tailed follower graph (paper max d=1.4M)",
+		Build: func(s float64) *graph.Graph {
+			return gen.RMAT(15, int64(540000*s), 0.57, 0.19, 0.19, 1004)
+		},
+	},
+	{
+		Name:      "friendster-sim",
+		PaperName: "friendster",
+		Character: "largest graph, sparse social network, d=28.9",
+		Build: func(s float64) *graph.Graph {
+			return gen.Roll(scaled(40000, s), 28, 1005)
+		},
+	},
+	{
+		Name:      "ROLL-d40",
+		PaperName: "ROLL-d40",
+		Character: "scale-free, fixed |E|, average degree 40",
+		Build: func(s float64) *graph.Graph {
+			return gen.Roll(scaled(20000, s), 40, 2001)
+		},
+	},
+	{
+		Name:      "ROLL-d80",
+		PaperName: "ROLL-d80",
+		Character: "scale-free, fixed |E|, average degree 80",
+		Build: func(s float64) *graph.Graph {
+			return gen.Roll(scaled(10000, s), 80, 2002)
+		},
+	},
+	{
+		Name:      "ROLL-d120",
+		PaperName: "ROLL-d120",
+		Character: "scale-free, fixed |E|, average degree 120",
+		Build: func(s float64) *graph.Graph {
+			return gen.Roll(scaled(6667, s), 120, 2003)
+		},
+	},
+	{
+		Name:      "ROLL-d160",
+		PaperName: "ROLL-d160",
+		Character: "scale-free, fixed |E|, average degree 160",
+		Build: func(s float64) *graph.Graph {
+			return gen.Roll(scaled(5000, s), 160, 2004)
+		},
+	},
+}
+
+// All returns every registered dataset spec.
+func All() []Spec {
+	out := make([]Spec, len(specs))
+	copy(out, specs)
+	return out
+}
+
+// RealWorld returns the surrogates for the paper's Table 1 graphs, in the
+// paper's order.
+func RealWorld() []Spec {
+	return pick("orkut-sim", "webbase-sim", "twitter-sim", "friendster-sim")
+}
+
+// Breakdown returns the Figure 1 datasets (livejournal, orkut, twitter).
+func Breakdown() []Spec {
+	return pick("livejournal-sim", "orkut-sim", "twitter-sim")
+}
+
+// RollFamily returns the Table 2 / Figure 8 ROLL graphs.
+func RollFamily() []Spec {
+	return pick("ROLL-d40", "ROLL-d80", "ROLL-d120", "ROLL-d160")
+}
+
+func pick(names ...string) []Spec {
+	out := make([]Spec, 0, len(names))
+	for _, n := range names {
+		s, err := Get(n)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Get looks up a dataset spec by name.
+func Get(name string) (Spec, error) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("dataset: unknown dataset %q (known: %v)", name, Names())
+}
+
+// Names returns all dataset names sorted.
+func Names() []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+type cacheKey struct {
+	name  string
+	scale float64
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[cacheKey]*graph.Graph{}
+)
+
+// Load builds (or returns the cached) graph for the named dataset at the
+// given scale. Graphs are immutable, so sharing is safe.
+func Load(name string, scale float64) (*graph.Graph, error) {
+	s, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey{name: name, scale: scale}
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if g, ok := cache[key]; ok {
+		return g, nil
+	}
+	g := s.Build(scale)
+	cache[key] = g
+	return g, nil
+}
+
+// MustLoad is Load that panics on error (experiment-harness convenience).
+func MustLoad(name string, scale float64) *graph.Graph {
+	g, err := Load(name, scale)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ClearCache drops all cached graphs (for tests that measure build cost).
+func ClearCache() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	cache = map[cacheKey]*graph.Graph{}
+}

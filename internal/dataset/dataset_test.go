@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestAllSpecsBuildAtTinyScale(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			g := s.Build(0.02)
+			if err := g.Validate(); err != nil {
+				t.Fatalf("invalid graph: %v", err)
+			}
+			if g.NumVertices() == 0 || g.NumEdges() == 0 {
+				t.Fatalf("degenerate graph: v=%d e=%d", g.NumVertices(), g.NumEdges())
+			}
+		})
+	}
+}
+
+func TestGetAndNames(t *testing.T) {
+	if _, err := Get("orkut-sim"); err != nil {
+		t.Errorf("Get(orkut-sim): %v", err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Errorf("Get(nope) should fail")
+	}
+	names := Names()
+	if len(names) != len(All()) {
+		t.Errorf("Names() size mismatch")
+	}
+}
+
+func TestGroupings(t *testing.T) {
+	if got := len(RealWorld()); got != 4 {
+		t.Errorf("RealWorld = %d specs", got)
+	}
+	if got := len(Breakdown()); got != 3 {
+		t.Errorf("Breakdown = %d specs", got)
+	}
+	if got := len(RollFamily()); got != 4 {
+		t.Errorf("RollFamily = %d specs", got)
+	}
+	for _, s := range append(RealWorld(), RollFamily()...) {
+		if s.PaperName == "" || s.Character == "" {
+			t.Errorf("%s missing metadata", s.Name)
+		}
+	}
+}
+
+func TestLoadCaches(t *testing.T) {
+	ClearCache()
+	a, err := Load("ROLL-d40", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := MustLoad("ROLL-d40", 0.02)
+	if a != b {
+		t.Errorf("Load did not cache")
+	}
+	c := MustLoad("ROLL-d40", 0.03)
+	if a == c {
+		t.Errorf("different scales must not share cache entries")
+	}
+	if _, err := Load("nope", 1); err == nil {
+		t.Errorf("Load(nope) should fail")
+	}
+}
+
+func TestRollFamilyDegreesOrdered(t *testing.T) {
+	// Average degrees must increase along the family while |E| stays
+	// roughly constant (the Table 2 construction).
+	prevDeg := 0.0
+	var firstEdges int64
+	for i, s := range RollFamily() {
+		g := MustLoad(s.Name, 0.1)
+		d := g.AvgDegree()
+		if d <= prevDeg {
+			t.Errorf("%s: avg degree %.1f not increasing (prev %.1f)", s.Name, d, prevDeg)
+		}
+		prevDeg = d
+		if i == 0 {
+			firstEdges = g.NumEdges()
+		} else {
+			ratio := float64(g.NumEdges()) / float64(firstEdges)
+			if ratio < 0.6 || ratio > 1.6 {
+				t.Errorf("%s: |E| ratio %.2f too far from constant", s.Name, ratio)
+			}
+		}
+	}
+}
+
+func TestSurrogateCharacters(t *testing.T) {
+	// twitter-sim must be the most skewed; webbase-sim the sparsest of the
+	// real-world set — the relative characters the figures depend on.
+	tw := MustLoad("twitter-sim", 0.1)
+	wb := MustLoad("webbase-sim", 0.1)
+	ok := MustLoad("orkut-sim", 0.1)
+	if skew(tw) <= skew(ok) {
+		t.Errorf("twitter-sim skew %.1f should exceed orkut-sim %.1f", skew(tw), skew(ok))
+	}
+	if wb.AvgDegree() >= ok.AvgDegree() {
+		t.Errorf("webbase-sim should be sparser than orkut-sim (%.1f vs %.1f)",
+			wb.AvgDegree(), ok.AvgDegree())
+	}
+}
+
+func skew(g interface {
+	MaxDegree() int32
+	AvgDegree() float64
+}) float64 {
+	return float64(g.MaxDegree()) / g.AvgDegree()
+}

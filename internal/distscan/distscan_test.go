@@ -1,0 +1,140 @@
+package distscan
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ppscan/internal/algotest"
+	"ppscan/internal/intersect"
+	"ppscan/internal/result"
+	"ppscan/internal/scan"
+	"ppscan/internal/simdef"
+)
+
+func TestGroundTruthCorpus(t *testing.T) {
+	for _, tc := range algotest.Corpus() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			for _, th := range algotest.Params() {
+				r := Run(tc.G, th, Options{Partitions: 4})
+				if err := algotest.CheckGroundTruth(tc.G, r, th); err != nil {
+					t.Fatalf("%s: %v", tc.Name, err)
+				}
+			}
+		})
+	}
+}
+
+func TestMatchesSCANQuick(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		g := algotest.RandomGraph(seed)
+		th := algotest.RandomThreshold(seed)
+		want := scan.Run(g, th, scan.Options{Kernel: intersect.Merge})
+		got := Run(g, th, Options{Partitions: int(pRaw%7) + 1})
+		return result.Equal(want, got) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionCountIndependence(t *testing.T) {
+	g := algotest.RandomGraph(111)
+	th, _ := simdef.NewThreshold("0.4", 3)
+	base := Run(g, th, Options{Partitions: 1})
+	for _, p := range []int{2, 3, 8, 64} {
+		r := Run(g, th, Options{Partitions: p})
+		if err := result.Equal(base, r); err != nil {
+			t.Errorf("partitions=%d changes output: %v", p, err)
+		}
+	}
+}
+
+func TestCommunicationOverheadMeasured(t *testing.T) {
+	// The §3.3 claim this package makes measurable: multi-partition runs
+	// pay communication that a single partition does not.
+	g := algotest.RandomGraph(113)
+	if g.NumEdges() < 100 {
+		t.Skip("graph too small to force cross-partition edges")
+	}
+	th, _ := simdef.NewThreshold("0.4", 3)
+	one := Run(g, th, Options{Partitions: 1})
+	if one.Stats.CommBytes != 0 {
+		t.Errorf("single partition should not communicate, got %d bytes", one.Stats.CommBytes)
+	}
+	four := Run(g, th, Options{Partitions: 4})
+	if four.Stats.CommBytes == 0 {
+		t.Errorf("4 partitions communicated 0 bytes; boundary exchange broken")
+	}
+	eight := Run(g, th, Options{Partitions: 8})
+	if eight.Stats.CommBytes < four.Stats.CommBytes {
+		t.Errorf("more partitions should not communicate less: p=4 %d bytes, p=8 %d bytes",
+			four.Stats.CommBytes, eight.Stats.CommBytes)
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	g := algotest.RandomGraph(115)
+	p := 4
+	bounds := partition(g, p)
+	if bounds[0] != 0 || bounds[p] != g.NumVertices() {
+		t.Fatalf("bounds do not cover the vertex range: %v", bounds)
+	}
+	for w := 0; w < p; w++ {
+		if bounds[w] > bounds[w+1] {
+			t.Fatalf("bounds not monotone: %v", bounds)
+		}
+	}
+	// Degree-sum balance within a reasonable factor.
+	var sums []int64
+	for w := 0; w < p; w++ {
+		var s int64
+		for u := bounds[w]; u < bounds[w+1]; u++ {
+			s += int64(g.Degree(u)) + 1
+		}
+		sums = append(sums, s)
+	}
+	var maxS, minS int64 = 0, 1 << 62
+	for _, s := range sums {
+		if s > maxS {
+			maxS = s
+		}
+		if s < minS {
+			minS = s
+		}
+	}
+	if minS > 0 && maxS > 4*minS {
+		t.Errorf("partition imbalance: %v", sums)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := algotest.RandomGraph(117)
+	th, _ := simdef.NewThreshold("0.5", 3)
+	r := Run(g, th, Options{Partitions: 3})
+	if !strings.HasPrefix(r.Stats.Algorithm, "dist-scan(") {
+		t.Errorf("algorithm = %s", r.Stats.Algorithm)
+	}
+	if r.Stats.Workers != 3 || r.Stats.Total <= 0 {
+		t.Errorf("stats = %+v", r.Stats)
+	}
+	if r.Stats.CompSimCalls != g.NumEdges() {
+		t.Errorf("calls = %d, want |E| = %d", r.Stats.CompSimCalls, g.NumEdges())
+	}
+}
+
+func TestDefaultsAndDegenerate(t *testing.T) {
+	g := algotest.Corpus()[0].G // empty graph
+	th, _ := simdef.NewThreshold("0.5", 2)
+	r := Run(g, th, Options{}) // default partitions
+	if len(r.Roles) != 0 {
+		t.Errorf("empty graph roles = %v", r.Roles)
+	}
+	// More partitions than vertices.
+	g2 := algotest.Corpus()[3].G // triangle
+	r2 := Run(g2, th, Options{Partitions: 50})
+	if err := algotest.CheckGroundTruth(g2, r2, th); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package expharness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Terminal bar charts for eyeballing figure shapes directly from
+// `cmd/experiments -charts`, without external plotting.
+
+// barChart renders a horizontal bar chart: one row per (label, value),
+// scaled to width characters at the maximum value.
+func barChart(w io.Writer, title string, labels []string, values []float64, unit string, width int) {
+	if width < 10 {
+		width = 40
+	}
+	fmt.Fprintf(w, "-- %s --\n", title)
+	var maxV float64
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, l := range labels {
+		n := int(values[i] / maxV * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		if values[i] > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(w, "%-*s |%s%s %.3g%s\n", labelW, l,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n), values[i], unit)
+	}
+}
+
+// ChartOverall renders Figure 2/3 rows as one runtime bar chart per
+// (dataset, eps) group, preserving algorithm order.
+func ChartOverall(w io.Writer, rows []OverallPoint) {
+	type key struct {
+		ds, eps string
+	}
+	var order []key
+	groups := map[key][]OverallPoint{}
+	for _, r := range rows {
+		k := key{r.Dataset, r.Eps}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	for _, k := range order {
+		g := groups[k]
+		labels := make([]string, len(g))
+		values := make([]float64, len(g))
+		for i, r := range g {
+			labels[i] = string(r.Algo)
+			values[i] = float64(r.Runtime) / float64(time.Millisecond)
+		}
+		barChart(w, fmt.Sprintf("%s eps=%s (runtime)", k.ds, k.eps), labels, values, "ms", 48)
+	}
+}
+
+// ChartBreakdown renders Figure 1 rows as stacked-fraction summaries: for
+// each bar, the similarity / reduction / other shares.
+func ChartBreakdown(w io.Writer, rows []BreakdownPoint) {
+	for _, r := range rows {
+		total := float64(r.Total)
+		if total <= 0 {
+			continue
+		}
+		simN := int(float64(r.Similarity) / total * 40)
+		redN := int(float64(r.Reduction) / total * 40)
+		othN := 40 - simN - redN
+		if othN < 0 {
+			othN = 0
+		}
+		fmt.Fprintf(w, "%-16s %-6s eps=%-4s [%s%s%s] %s\n",
+			r.Dataset, r.Algorithm, r.Eps,
+			strings.Repeat("S", simN), strings.Repeat("R", redN), strings.Repeat(".", othN),
+			rd(r.Total))
+	}
+	fmt.Fprintln(w, "legend: S=similarity evaluation, R=workload reduction, .=other")
+}
+
+// ChartScale renders Figure 6 rows as a per-dataset worker/runtime chart.
+func ChartScale(w io.Writer, rows []ScalePoint) {
+	var order []string
+	groups := map[string][]ScalePoint{}
+	for _, r := range rows {
+		if _, ok := groups[r.Dataset]; !ok {
+			order = append(order, r.Dataset)
+		}
+		groups[r.Dataset] = append(groups[r.Dataset], r)
+	}
+	for _, ds := range order {
+		g := groups[ds]
+		labels := make([]string, len(g))
+		values := make([]float64, len(g))
+		for i, r := range g {
+			labels[i] = fmt.Sprintf("%d workers", r.Workers)
+			values[i] = float64(r.Total) / float64(time.Millisecond)
+		}
+		barChart(w, ds+" (total runtime by workers)", labels, values, "ms", 48)
+	}
+}

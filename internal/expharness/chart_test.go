@@ -1,0 +1,80 @@
+package expharness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	barChart(&buf, "demo", []string{"a", "bb"}, []float64{10, 5}, "ms", 20)
+	out := buf.String()
+	if !strings.Contains(out, "demo") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Bar of a (max) must be twice bar of bb.
+	aBars := strings.Count(lines[1], "#")
+	bBars := strings.Count(lines[2], "#")
+	if aBars != 20 || bBars != 10 {
+		t.Errorf("bar lengths = %d, %d", aBars, bBars)
+	}
+	// Zero/negative max handled.
+	buf.Reset()
+	barChart(&buf, "zeros", []string{"x"}, []float64{0}, "", 0)
+	if !strings.Contains(buf.String(), "x") {
+		t.Errorf("zero chart broken")
+	}
+}
+
+func TestChartOverall(t *testing.T) {
+	rows := []OverallPoint{
+		{Dataset: "d1", Algo: AlgoSCAN, Eps: "0.2", Runtime: 10 * time.Millisecond},
+		{Dataset: "d1", Algo: AlgoPPSCAN, Eps: "0.2", Runtime: 2 * time.Millisecond},
+		{Dataset: "d2", Algo: AlgoSCAN, Eps: "0.4", Runtime: 7 * time.Millisecond},
+	}
+	var buf bytes.Buffer
+	ChartOverall(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"d1 eps=0.2", "d2 eps=0.4", "ppSCAN", "SCAN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartBreakdown(t *testing.T) {
+	rows := []BreakdownPoint{
+		{Dataset: "d", Algorithm: "SCAN", Eps: "0.2",
+			Similarity: 8 * time.Millisecond, Total: 10 * time.Millisecond},
+		{Dataset: "d", Algorithm: "pSCAN", Eps: "0.2",
+			Similarity: 3 * time.Millisecond, Reduction: 3 * time.Millisecond, Total: 10 * time.Millisecond},
+		{Dataset: "zero", Algorithm: "x", Eps: "0.2"}, // zero total skipped
+	}
+	var buf bytes.Buffer
+	ChartBreakdown(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "legend") || !strings.Contains(out, "SSS") {
+		t.Errorf("breakdown chart unexpected:\n%s", out)
+	}
+	if strings.Contains(out, "zero") {
+		t.Errorf("zero-total row should be skipped")
+	}
+}
+
+func TestChartScale(t *testing.T) {
+	rows := []ScalePoint{
+		{Dataset: "d", Workers: 1, Total: 10 * time.Millisecond},
+		{Dataset: "d", Workers: 4, Total: 9 * time.Millisecond},
+	}
+	var buf bytes.Buffer
+	ChartScale(&buf, rows)
+	if !strings.Contains(buf.String(), "4 workers") {
+		t.Errorf("scale chart missing workers row:\n%s", buf.String())
+	}
+}

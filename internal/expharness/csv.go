@@ -1,0 +1,159 @@
+package expharness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ppscan/graph"
+	"ppscan/internal/result"
+)
+
+// CSVWriter exports an experiment's structured rows as machine-readable
+// CSV, for plotting the figures with external tooling.
+type CSVWriter struct {
+	w *csv.Writer
+}
+
+// NewCSVWriter wraps an io.Writer.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{w: csv.NewWriter(w)}
+}
+
+func (c *CSVWriter) writeAll(header []string, rows [][]string) error {
+	if err := c.w.Write(header); err != nil {
+		return err
+	}
+	if err := c.w.WriteAll(rows); err != nil {
+		return err
+	}
+	c.w.Flush()
+	return c.w.Error()
+}
+
+func f2s(f float64) string { return strconv.FormatFloat(f, 'g', 8, 64) }
+func d2s(d int64) string   { return strconv.FormatInt(d, 10) }
+
+// WriteStats exports Table 1/2 rows.
+func (c *CSVWriter) WriteStats(rows []graph.Stats) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Name, d2s(int64(r.NumVertices)), d2s(r.NumEdges), f2s(r.AvgDegree), d2s(int64(r.MaxDegree))}
+	}
+	return c.writeAll([]string{"name", "vertices", "directed_edges", "avg_degree", "max_degree"}, out)
+}
+
+// WriteBreakdown exports Figure 1 rows.
+func (c *CSVWriter) WriteBreakdown(rows []BreakdownPoint) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Dataset, r.Algorithm, r.Eps,
+			d2s(r.Similarity.Nanoseconds()), d2s(r.Reduction.Nanoseconds()),
+			d2s(r.Other.Nanoseconds()), d2s(r.Total.Nanoseconds())}
+	}
+	return c.writeAll([]string{"dataset", "algorithm", "eps", "similarity_ns", "reduction_ns", "other_ns", "total_ns"}, out)
+}
+
+// WriteOverall exports Figure 2/3 rows.
+func (c *CSVWriter) WriteOverall(rows []OverallPoint) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Dataset, string(r.Algo), r.Eps, d2s(r.Runtime.Nanoseconds()), f2s(r.SpeedupVsPSCAN)}
+	}
+	return c.writeAll([]string{"dataset", "algorithm", "eps", "runtime_ns", "speedup_vs_pscan"}, out)
+}
+
+// WriteInvocations exports Figure 4 rows.
+func (c *CSVWriter) WriteInvocations(rows []InvocationPoint) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Dataset, r.Eps, d2s(r.Edges), d2s(r.PSCANCalls), d2s(r.PPSCANCalls),
+			f2s(r.NormalizedPSCAN()), f2s(r.NormalizedPPSCAN())}
+	}
+	return c.writeAll([]string{"dataset", "eps", "edges", "pscan_calls", "ppscan_calls", "pscan_norm", "ppscan_norm"}, out)
+}
+
+// WriteVec exports Figure 5 rows.
+func (c *CSVWriter) WriteVec(rows []VecPoint) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Dataset, r.Eps, r.Profile.String(),
+			d2s(r.CheckCoreNO.Nanoseconds()), d2s(r.CheckCoreVec.Nanoseconds()), f2s(r.Speedup())}
+	}
+	return c.writeAll([]string{"dataset", "eps", "profile", "scalar_ns", "vectorized_ns", "speedup"}, out)
+}
+
+// WriteScale exports Figure 6 rows.
+func (c *CSVWriter) WriteScale(rows []ScalePoint) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Dataset, d2s(int64(r.Workers)),
+			d2s(r.Phases[result.PhasePruning].Nanoseconds()),
+			d2s(r.Phases[result.PhaseCheckCore].Nanoseconds()),
+			d2s(r.Phases[result.PhaseClusterCore].Nanoseconds()),
+			d2s(r.Phases[result.PhaseClusterNonCore].Nanoseconds()),
+			d2s(r.Total.Nanoseconds()), f2s(r.SelfSpeedup)}
+	}
+	return c.writeAll([]string{"dataset", "workers", "pruning_ns", "check_core_ns",
+		"cluster_core_ns", "cluster_noncore_ns", "total_ns", "self_speedup"}, out)
+}
+
+// WriteRobust exports Figure 7 rows.
+func (c *CSVWriter) WriteRobust(rows []RobustPoint) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Dataset, r.Eps, d2s(int64(r.Mu)), d2s(r.Runtime.Nanoseconds())}
+	}
+	return c.writeAll([]string{"dataset", "eps", "mu", "runtime_ns"}, out)
+}
+
+// WriteRoll exports Figure 8 rows.
+func (c *CSVWriter) WriteRoll(rows []RollPoint) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Dataset, r.Eps, r.Profile.String(), d2s(r.Runtime.Nanoseconds()), f2s(r.SelfSpeedup)}
+	}
+	return c.writeAll([]string{"dataset", "eps", "profile", "runtime_ns", "self_speedup"}, out)
+}
+
+// WriteAblations exports ablation rows.
+func (c *CSVWriter) WriteAblations(rows []AblationPoint) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Group, r.Variant, r.Dataset, d2s(r.Runtime.Nanoseconds()), d2s(r.CompSimCalls), d2s(r.CommBytes)}
+	}
+	return c.writeAll([]string{"group", "variant", "dataset", "runtime_ns", "compsim_calls", "comm_bytes"}, out)
+}
+
+// RunCSV executes the experiment with the given id and writes its rows as
+// CSV to w.
+func RunCSV(id string, cfg Config, w io.Writer) error {
+	cw := NewCSVWriter(w)
+	switch id {
+	case "table1":
+		return cw.WriteStats(Table1(cfg))
+	case "table2":
+		return cw.WriteStats(Table2(cfg))
+	case "fig1":
+		return cw.WriteBreakdown(Fig1(cfg))
+	case "fig2":
+		return cw.WriteOverall(Fig2(cfg))
+	case "fig3":
+		return cw.WriteOverall(Fig3(cfg))
+	case "fig4":
+		return cw.WriteInvocations(Fig4(cfg))
+	case "fig5":
+		return cw.WriteVec(Fig5(cfg))
+	case "fig6":
+		return cw.WriteScale(Fig6(cfg))
+	case "fig7":
+		return cw.WriteRobust(Fig7(cfg))
+	case "fig8":
+		return cw.WriteRoll(Fig8(cfg))
+	case "ablations":
+		return cw.WriteAblations(Ablations(cfg))
+	default:
+		return fmt.Errorf("expharness: no CSV export for %q", id)
+	}
+}

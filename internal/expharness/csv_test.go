@@ -1,0 +1,72 @@
+package expharness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, data string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(data)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	return rows
+}
+
+func TestRunCSVAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CSV export of all experiments skipped in -short")
+	}
+	cfg := Config{Scale: 0.02, Workers: 2, Quick: true}
+	wantRows := map[string]int{
+		"table1": 4, "table2": 4,
+		"fig1": 12, "fig2": 40, "fig3": 40, "fig4": 8,
+		"fig5": 16, "fig6": 8, "fig7": 16, "fig8": 8,
+		// 1 quick dataset x (2 scheduler + 3 thresholds + 3 orders + 6 kernels)
+		"ablations": 19,
+	}
+	for _, e := range Experiments() {
+		var buf bytes.Buffer
+		if err := RunCSV(e.ID, cfg, &buf); err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		rows := parseCSV(t, buf.String())
+		if len(rows) < 2 {
+			t.Fatalf("%s: no data rows", e.ID)
+		}
+		if got := len(rows) - 1; got != wantRows[e.ID] {
+			t.Errorf("%s: %d data rows, want %d", e.ID, got, wantRows[e.ID])
+		}
+		width := len(rows[0])
+		for i, r := range rows {
+			if len(r) != width {
+				t.Fatalf("%s: row %d has %d fields, header has %d", e.ID, i, len(r), width)
+			}
+		}
+	}
+}
+
+func TestRunCSVUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunCSV("fig99", Config{}, &buf); err == nil {
+		t.Errorf("unknown id accepted")
+	}
+}
+
+func TestCSVStatsShape(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Scale: 0.02}
+	if err := RunCSV("table2", cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if rows[0][0] != "name" || rows[0][4] != "max_degree" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][0] != "ROLL-d40" {
+		t.Errorf("first data row = %v", rows[1])
+	}
+}

@@ -1,0 +1,262 @@
+package expharness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ppscan/internal/result"
+)
+
+// quickCfg keeps harness tests fast: tiny datasets, reduced grids.
+func quickCfg(buf *bytes.Buffer) Config {
+	return Config{Scale: 0.03, Workers: 2, Quick: true, Out: buf}
+}
+
+func TestTables(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	t1 := Table1(cfg)
+	if len(t1) != 4 {
+		t.Fatalf("Table1 rows = %d", len(t1))
+	}
+	t2 := Table2(cfg)
+	if len(t2) != 4 {
+		t.Fatalf("Table2 rows = %d", len(t2))
+	}
+	PrintStats(cfg, "Table 1", t1)
+	PrintStats(cfg, "Table 2", t2)
+	out := buf.String()
+	for _, want := range []string{"orkut-sim", "ROLL-d160", "max d"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed stats missing %q", want)
+		}
+	}
+}
+
+func TestFig1Breakdown(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	rows := Fig1(cfg)
+	// 3 datasets x 2 algorithms x 2 eps (quick grid).
+	if len(rows) != 12 {
+		t.Fatalf("Fig1 rows = %d, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.Total <= 0 {
+			t.Errorf("%s/%s eps=%s: zero total", r.Dataset, r.Algorithm, r.Eps)
+		}
+		if r.Similarity+r.Reduction > r.Total {
+			t.Errorf("%s/%s: breakdown exceeds total", r.Dataset, r.Algorithm)
+		}
+		if r.Algorithm == "SCAN" && r.Reduction != 0 {
+			t.Errorf("SCAN should have no reduction component")
+		}
+	}
+	PrintFig1(cfg, rows)
+	if !strings.Contains(buf.String(), "similarity") {
+		t.Errorf("Fig1 print missing header")
+	}
+}
+
+func TestOverallComparison(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	rows := Fig3(cfg)
+	// 4 datasets x 2 eps x 5 algorithms.
+	if len(rows) != 40 {
+		t.Fatalf("Fig3 rows = %d, want 40", len(rows))
+	}
+	// pSCAN rows must have speedup exactly 1.
+	for _, r := range rows {
+		if r.Algo == AlgoPSCAN && (r.SpeedupVsPSCAN < 0.999 || r.SpeedupVsPSCAN > 1.001) {
+			t.Errorf("pSCAN self-speedup = %f", r.SpeedupVsPSCAN)
+		}
+		if r.Runtime <= 0 {
+			t.Errorf("%s/%s: zero runtime", r.Dataset, r.Algo)
+		}
+	}
+	PrintOverall(cfg, ProfileKNL, rows)
+	if !strings.Contains(buf.String(), "Figure 3") {
+		t.Errorf("print missing title")
+	}
+}
+
+func TestFig4Invocations(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	rows := Fig4(cfg)
+	if len(rows) != 8 { // 4 datasets x 2 eps
+		t.Fatalf("Fig4 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Both prune-based algorithms compute each edge at most once.
+		if r.NormalizedPSCAN() > 1.0001 || r.NormalizedPPSCAN() > 1.0001 {
+			t.Errorf("%s eps=%s: normalized invocations exceed 1 (%f / %f)",
+				r.Dataset, r.Eps, r.NormalizedPSCAN(), r.NormalizedPPSCAN())
+		}
+		// "Similar amount of work": within a factor 2 plus slack for tiny
+		// graphs.
+		lo, hi := r.NormalizedPSCAN()*0.4-0.05, r.NormalizedPSCAN()*2.5+0.05
+		if n := r.NormalizedPPSCAN(); n < lo || n > hi {
+			t.Errorf("%s eps=%s: ppSCAN %.3f far from pSCAN %.3f",
+				r.Dataset, r.Eps, n, r.NormalizedPSCAN())
+		}
+	}
+	PrintFig4(cfg, rows)
+}
+
+func TestFig5Vectorization(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	rows := Fig5(cfg)
+	if len(rows) != 16 { // 2 profiles x 4 datasets x 2 eps
+		t.Fatalf("Fig5 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.CheckCoreNO < 0 || r.CheckCoreVec < 0 {
+			t.Errorf("negative stage time")
+		}
+	}
+	PrintFig5(cfg, rows)
+}
+
+func TestFig6Scalability(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	rows := Fig6(cfg)
+	if len(rows) != 8 { // 4 datasets x 2 worker counts (quick grid)
+		t.Fatalf("Fig6 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Workers == 1 && (r.SelfSpeedup < 0.999 || r.SelfSpeedup > 1.001) {
+			t.Errorf("1-worker self-speedup = %f", r.SelfSpeedup)
+		}
+		var sum time.Duration
+		for _, p := range r.Phases {
+			sum += p
+		}
+		if sum <= 0 || sum > 2*r.Total+time.Millisecond {
+			t.Errorf("%s w=%d: phase sum %v vs total %v", r.Dataset, r.Workers, sum, r.Total)
+		}
+	}
+	PrintFig6(cfg, rows)
+}
+
+func TestFig7Robustness(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	rows := Fig7(cfg)
+	if len(rows) != 16 { // 4 datasets x 2 mus x 2 eps
+		t.Fatalf("Fig7 rows = %d", len(rows))
+	}
+	PrintFig7(cfg, rows)
+}
+
+func TestFig8Roll(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	rows := Fig8(cfg)
+	if len(rows) != 8 { // 1 profile (quick) x 4 datasets x 2 eps
+		t.Fatalf("Fig8 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SelfSpeedup <= 0 {
+			t.Errorf("%s: non-positive self speedup", r.Dataset)
+		}
+	}
+	PrintFig8(cfg, rows)
+}
+
+func TestRegistryCoversEverything(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 11 {
+		t.Fatalf("registry has %d experiments, want 11 (2 tables + 8 figures + ablations)", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Description == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, err := Lookup("fig4"); err != nil {
+		t.Errorf("Lookup(fig4): %v", err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Errorf("Lookup(nope) should fail")
+	}
+}
+
+func TestRegistryRunsSmoke(t *testing.T) {
+	// Every registered experiment must run end-to-end at tiny scale.
+	if testing.Short() {
+		t.Skip("smoke run of all experiments skipped in -short")
+	}
+	var buf bytes.Buffer
+	cfg := Config{Scale: 0.02, Workers: 2, Quick: true, Out: &buf, Repeats: 1}
+	for _, e := range Experiments() {
+		e.Run(cfg)
+	}
+	if buf.Len() == 0 {
+		t.Errorf("experiments produced no output")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	rows := Ablations(cfg)
+	if len(rows) != 19 {
+		t.Fatalf("ablation rows = %d, want 19", len(rows))
+	}
+	groups := map[string]int{}
+	for _, r := range rows {
+		groups[r.Group]++
+		if r.Runtime <= 0 {
+			t.Errorf("%s/%s: zero runtime", r.Group, r.Variant)
+		}
+	}
+	want := map[string]int{"scheduler": 2, "task-threshold": 3, "pscan-order": 3, "ppscan-kernel": 7, "dist-partitions": 4}
+	for g, n := range want {
+		if groups[g] != n {
+			t.Errorf("group %s has %d rows, want %d", g, groups[g], n)
+		}
+	}
+	PrintAblations(cfg, rows)
+	if !strings.Contains(buf.String(), "scheduler") {
+		t.Errorf("ablation print missing group")
+	}
+}
+
+func TestBestOfPicksMinimum(t *testing.T) {
+	cfg := Config{Repeats: 3}.norm()
+	i := 0
+	durations := []time.Duration{30, 10, 20}
+	r := cfg.bestOf(func() *result.Result {
+		res := &result.Result{}
+		res.Stats.Total = durations[i]
+		i++
+		return res
+	})
+	if r.Stats.Total != 10 {
+		t.Errorf("bestOf picked %v", r.Stats.Total)
+	}
+}
+
+func TestConfigNorm(t *testing.T) {
+	c := Config{}.norm()
+	if c.Scale != 1.0 || c.Workers < 1 || c.Repeats != 1 || c.Out == nil {
+		t.Errorf("norm = %+v", c)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	if !strings.Contains(ProfileCPU.String(), "AVX2") || !strings.Contains(ProfileKNL.String(), "AVX512") {
+		t.Errorf("profile names wrong")
+	}
+}

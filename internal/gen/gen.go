@@ -1,0 +1,338 @@
+// Package gen provides deterministic synthetic graph generators used to
+// build surrogate workloads for the paper's datasets.
+//
+// The paper evaluates on four SNAP/WebGraph real-world graphs (Table 1) and
+// four 1-billion-edge ROLL scale-free graphs with controlled average degree
+// (Table 2). Neither is available offline at this scale, so the experiment
+// harness substitutes graphs from this package; see DESIGN.md §2 for the
+// substitution rationale.
+//
+// All generators are deterministic given their seed, so experiments are
+// reproducible run-to-run.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ppscan/graph"
+)
+
+// ErdosRenyi generates a G(n, m) uniform random graph: m undirected edges
+// sampled uniformly (duplicates and self loops are resampled).
+func ErdosRenyi(n int32, m int64, seed int64) *graph.Graph {
+	if n < 2 {
+		g, _ := graph.FromEdges(maxi32(n, 0), nil)
+		return g
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type key = int64
+	seen := make(map[key]struct{}, m)
+	edges := make([]graph.Edge, 0, m)
+	maxEdges := int64(n) * int64(n-1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	for int64(len(edges)) < m {
+		u := int32(rng.Intn(int(n)))
+		v := int32(rng.Intn(int(n)))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		k := int64(u)*int64(n) + int64(v)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		panic(fmt.Sprintf("gen: ErdosRenyi produced invalid edges: %v", err))
+	}
+	return g
+}
+
+// Roll generates a scale-free graph in the family produced by the ROLL
+// generator [Hadian et al., SIGMOD 2016] used in the paper's Table 2: a
+// Barabási–Albert preferential-attachment process in which each new vertex
+// attaches to k = avgDegree/2 existing vertices chosen proportionally to
+// their current degree. Holding |E| = n*k constant while varying avgDegree
+// mirrors the paper's ROLL-d40..d160 construction.
+//
+// Preferential attachment is implemented with the standard repeated-endpoint
+// trick: targets are drawn uniformly from the running endpoint list, which
+// is equivalent to degree-proportional sampling.
+func Roll(n int32, avgDegree int32, seed int64) *graph.Graph {
+	k := int(avgDegree / 2)
+	if k < 1 {
+		k = 1
+	}
+	if int32(k) >= n {
+		k = int(n) - 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// endpoints holds every edge endpoint ever created; sampling uniformly
+	// from it is degree-proportional sampling.
+	endpoints := make([]int32, 0, 2*int(n)*k)
+	edges := make([]graph.Edge, 0, int(n)*k)
+	// Seed clique over the first k+1 vertices.
+	m0 := int32(k + 1)
+	if m0 > n {
+		m0 = n
+	}
+	for u := int32(0); u < m0; u++ {
+		for v := u + 1; v < m0; v++ {
+			edges = append(edges, graph.Edge{U: u, V: v})
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	targets := make(map[int32]struct{}, k)
+	ordered := make([]int32, 0, k)
+	for u := m0; u < n; u++ {
+		clear(targets)
+		ordered = ordered[:0]
+		// Pick k distinct targets degree-proportionally. The insertion
+		// order is recorded separately: iterating the map directly would
+		// feed Go's randomized map order back into the endpoint stream and
+		// make the "deterministic" generator produce a different graph on
+		// every run.
+		for len(targets) < k {
+			t := endpoints[rng.Intn(len(endpoints))]
+			if _, dup := targets[t]; dup {
+				continue
+			}
+			targets[t] = struct{}{}
+			ordered = append(ordered, t)
+		}
+		for _, t := range ordered {
+			edges = append(edges, graph.Edge{U: u, V: t})
+			endpoints = append(endpoints, u, t)
+		}
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		panic(fmt.Sprintf("gen: Roll produced invalid edges: %v", err))
+	}
+	return g
+}
+
+// RMAT generates a graph with the recursive-matrix (Kronecker-style) edge
+// distribution of Chakrabarti et al., producing the heavy-tailed degree
+// skew characteristic of web and social graphs. scale is log2 of the vertex
+// count; m undirected edges are generated (duplicates collapse, so the
+// resulting edge count can be slightly lower).
+func RMAT(scale int, m int64, a, b, c float64, seed int64) *graph.Graph {
+	n := int32(1) << scale
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, m)
+	for i := int64(0); i < m; i++ {
+		var u, v int32
+		for bit := scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u != v {
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		panic(fmt.Sprintf("gen: RMAT produced invalid edges: %v", err))
+	}
+	return g
+}
+
+// PlantedPartition generates a community-structured graph: numComm
+// communities of commSize vertices; each intra-community edge exists with
+// probability pIn and each inter-community edge with probability pOut.
+// Sampling uses the geometric skip method so generation is O(|E|) rather
+// than O(|V|^2): intra-community pairs are walked per community, and
+// inter-community pairs are walked globally (same-community hits of the
+// global walk are filtered out, which leaves each inter pair Bernoulli(pOut)
+// exactly).
+func PlantedPartition(numComm, commSize int32, pIn, pOut float64, seed int64) *graph.Graph {
+	n := numComm * commSize
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	comm := func(v int32) int32 { return v / commSize }
+	// Intra-community edges: walk each community's local pair space.
+	if pIn > 0 {
+		localPairs := int64(commSize) * int64(commSize-1) / 2
+		for c := int32(0); c < numComm; c++ {
+			base := c * commSize
+			idx := int64(-1)
+			for {
+				idx += geometricSkip(rng, pIn)
+				if idx >= localPairs {
+					break
+				}
+				u, v := pairFromIndex(idx, commSize)
+				edges = append(edges, graph.Edge{U: base + u, V: base + v})
+			}
+		}
+	}
+	// Inter-community edges: walk the global pair space and drop
+	// same-community hits.
+	if pOut > 0 {
+		total := int64(n) * int64(n-1) / 2
+		idx := int64(-1)
+		for {
+			idx += geometricSkip(rng, pOut)
+			if idx >= total {
+				break
+			}
+			u, v := pairFromIndex(idx, n)
+			if comm(u) != comm(v) {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+		}
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		panic(fmt.Sprintf("gen: PlantedPartition produced invalid edges: %v", err))
+	}
+	return g
+}
+
+// geometricSkip returns the 1-based gap until the next success of a
+// Bernoulli(p) process.
+func geometricSkip(rng *rand.Rand, p float64) int64 {
+	if p >= 1 {
+		return 1
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	// 1 + floor(log(u)/log(1-p))
+	s := int64(math.Log(u)/math.Log(1-p)) + 1
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// pairFromIndex maps a linear index in [0, n*(n-1)/2) to the lexicographic
+// pair (u, v) with u < v, in O(1) via the row-offset quadratic
+// offset(u) = u*n - u*(u+1)/2.
+func pairFromIndex(idx int64, n int32) (int32, int32) {
+	nf := float64(n)
+	// Solve offset(u) <= idx: u ≈ n - 0.5 - sqrt((n-0.5)^2 - 2*idx).
+	u := int64(nf - 0.5 - math.Sqrt((nf-0.5)*(nf-0.5)-2*float64(idx)))
+	if u < 0 {
+		u = 0
+	}
+	offset := func(u int64) int64 { return u*int64(n) - u*(u+1)/2 }
+	// Fix up float error (at most a step or two).
+	for u > 0 && offset(u) > idx {
+		u--
+	}
+	for offset(u+1) <= idx {
+		u++
+	}
+	v := u + 1 + (idx - offset(u))
+	return int32(u), int32(v)
+}
+
+// WattsStrogatz generates a small-world ring lattice: each vertex connects
+// to its k nearest neighbors on a ring, then each edge is rewired with
+// probability beta.
+func WattsStrogatz(n int32, k int32, beta float64, seed int64) *graph.Graph {
+	if k >= n {
+		k = n - 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	for u := int32(0); u < n; u++ {
+		for j := int32(1); j <= k/2; j++ {
+			v := (u + j) % n
+			if rng.Float64() < beta {
+				// Rewire to a uniform random target.
+				v = int32(rng.Intn(int(n)))
+			}
+			if v != u {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+		}
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		panic(fmt.Sprintf("gen: WattsStrogatz produced invalid edges: %v", err))
+	}
+	return g
+}
+
+// Star returns a star graph with one hub and n-1 leaves.
+func Star(n int32) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1)
+	for v := int32(1); v < n; v++ {
+		edges = append(edges, graph.Edge{U: 0, V: v})
+	}
+	g, _ := graph.FromEdges(n, edges)
+	return g
+}
+
+// Clique returns the complete graph K_n.
+func Clique(n int32) *graph.Graph {
+	var edges []graph.Edge
+	for u := int32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+	}
+	g, _ := graph.FromEdges(n, edges)
+	return g
+}
+
+// Path returns the path graph P_n.
+func Path(n int32) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1)
+	for u := int32(0); u+1 < n; u++ {
+		edges = append(edges, graph.Edge{U: u, V: u + 1})
+	}
+	g, _ := graph.FromEdges(n, edges)
+	return g
+}
+
+// CliqueChain returns c cliques of size s, consecutive cliques joined by a
+// single bridge edge. It is a useful worst/best-case testbed: with suitable
+// (eps, mu), each clique is exactly one cluster and the bridge endpoints are
+// hubs.
+func CliqueChain(c, s int32) *graph.Graph {
+	var edges []graph.Edge
+	for ci := int32(0); ci < c; ci++ {
+		base := ci * s
+		for u := int32(0); u < s; u++ {
+			for v := u + 1; v < s; v++ {
+				edges = append(edges, graph.Edge{U: base + u, V: base + v})
+			}
+		}
+		if ci+1 < c {
+			edges = append(edges, graph.Edge{U: base + s - 1, V: base + s})
+		}
+	}
+	g, _ := graph.FromEdges(c*s, edges)
+	return g
+}
+
+func maxi32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

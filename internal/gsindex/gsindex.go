@@ -1,0 +1,374 @@
+// Package gsindex implements a GS*-Index-style structural clustering index
+// (Wen, Qin, Zhang, Chang, Lin: "Efficient Structural Graph Clustering: An
+// Index-Based Approach", VLDB 2017) — the index discussed in the ppSCAN
+// paper's related work (§3.3) as the alternative approach to interactive
+// parameter exploration.
+//
+// The index precomputes every edge's exact intersection count once
+// (exhaustive, which the ppSCAN paper notes is prohibitively expensive on
+// massive graphs — that trade-off is reproduced faithfully: Build costs
+// roughly one SCAN-XP similarity phase) and stores, per vertex, its
+// neighbors ordered by decreasing structural similarity ("neighbor
+// order"). Afterwards any (ε, µ) query is answered in time proportional to
+// the similar edges it touches, with no set intersections at all:
+//
+//   - u is a core iff d[u] ≥ µ and the µ-th most similar neighbor of u has
+//     σ(u, v) ≥ ε (the "core order" property);
+//   - clusters are formed by scanning each core's neighbor order while
+//     σ ≥ ε, unioning cores and assigning memberships to non-cores.
+//
+// All comparisons are exact: similarity values are kept as the integer
+// pair (cn, p) with σ = cn/√p, and ordering/thresholding uses 128-bit
+// cross-multiplication (simdef.CompareSimValues / Epsilon.PredP), so index
+// queries return bit-identical results to every direct algorithm in this
+// module.
+package gsindex
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"ppscan/graph"
+	"ppscan/internal/intersect"
+	"ppscan/internal/result"
+	"ppscan/internal/sched"
+	"ppscan/internal/simdef"
+	"ppscan/internal/unionfind"
+)
+
+// Index is an immutable structural clustering index over one graph.
+// Memory: two int32 arrays of length 2|E| beyond the graph itself.
+type Index struct {
+	g *graph.Graph
+	// cn[e] = |Γ(u) ∩ Γ(v)| for the directed edge e = (u, v), including
+	// the +2 for the endpoints.
+	cn []int32
+	// order holds, per vertex, the permutation of its neighbor positions
+	// sorted by non-increasing similarity: order[g.Off[u]+k] is the index
+	// i (relative to g.Off[u]) of u's k-th most similar neighbor.
+	order []int32
+	// buildTime records how long Build took (the index-construction cost
+	// that ppSCAN's online approach avoids).
+	buildTime time.Duration
+}
+
+// BuildOptions configures index construction.
+type BuildOptions struct {
+	// Workers is the number of parallel workers; < 1 means GOMAXPROCS.
+	Workers int
+	// DegreeThreshold is the scheduler task granularity; < 1 means the
+	// default (32768).
+	DegreeThreshold int64
+}
+
+// Build constructs the index, computing every edge's intersection count
+// exactly once (shared to the reverse edge) and sorting the neighbor
+// orders. The computation is parallelized with the same degree-based
+// scheduler as ppSCAN.
+func Build(g *graph.Graph, opt BuildOptions) *Index {
+	start := time.Now()
+	n := g.NumVertices()
+	ix := &Index{
+		g:     g,
+		cn:    make([]int32, g.NumDirectedEdges()),
+		order: make([]int32, g.NumDirectedEdges()),
+	}
+	// Phase 1: intersection counts, each undirected edge computed once
+	// under the u < v constraint and mirrored to the reverse offset. Only
+	// u's task writes cn[e(u,v)] and cn[e(v,u)] (v > u never computes
+	// them), so the phase is write-race-free without atomics.
+	sched.ForEachVertex(sched.Options{Workers: opt.Workers, DegreeThreshold: opt.DegreeThreshold},
+		n,
+		func(int32) bool { return true },
+		g.Degree,
+		func(u int32, worker int) {
+			uOff := g.Off[u]
+			nbrs := g.Neighbors(u)
+			for i, v := range nbrs {
+				if v <= u {
+					continue
+				}
+				c := intersect.Count(nbrs, g.Neighbors(v)) + 2
+				ix.cn[uOff+int64(i)] = c
+				ix.cn[g.EdgeOffset(v, u)] = c
+			}
+		})
+	// Phase 2: neighbor orders, sorted by exactly-compared similarity.
+	sched.ForEachVertex(sched.Options{Workers: opt.Workers, DegreeThreshold: opt.DegreeThreshold},
+		n,
+		func(int32) bool { return true },
+		g.Degree,
+		func(u int32, worker int) {
+			uOff := g.Off[u]
+			deg := int64(g.Degree(u))
+			ord := ix.order[uOff : uOff+deg]
+			for i := range ord {
+				ord[i] = int32(i)
+			}
+			nbrs := g.Neighbors(u)
+			du1 := uint64(g.Degree(u)) + 1
+			sort.Slice(ord, func(a, b int) bool {
+				va, vb := nbrs[ord[a]], nbrs[ord[b]]
+				pa := du1 * (uint64(g.Degree(va)) + 1)
+				pb := du1 * (uint64(g.Degree(vb)) + 1)
+				cmp := simdef.CompareSimValues(ix.cn[uOff+int64(ord[a])], pa, ix.cn[uOff+int64(ord[b])], pb)
+				if cmp != 0 {
+					return cmp > 0 // higher similarity first
+				}
+				return va < vb
+			})
+		})
+	ix.buildTime = time.Since(start)
+	return ix
+}
+
+// Graph returns the indexed graph.
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// BuildTime returns how long index construction took.
+func (ix *Index) BuildTime() time.Duration { return ix.buildTime }
+
+// MemoryBytes returns the index's payload size (excluding the graph).
+func (ix *Index) MemoryBytes() int64 {
+	return int64(len(ix.cn))*4 + int64(len(ix.order))*4
+}
+
+// edgeSimGE reports whether σ(u, nbr-at-position) ≥ ε, using the stored
+// intersection count.
+func (ix *Index) edgeSimGE(eps simdef.Epsilon, u int32, pos int64, v int32) bool {
+	p := (uint64(ix.g.Degree(u)) + 1) * (uint64(ix.g.Degree(v)) + 1)
+	return eps.PredP(ix.cn[pos], p)
+}
+
+// IsCore answers the core predicate for one vertex under (eps, mu) in O(1)
+// via the neighbor order.
+func (ix *Index) IsCore(eps simdef.Epsilon, mu int32, u int32) bool {
+	if ix.g.Degree(u) < mu {
+		return false
+	}
+	uOff := ix.g.Off[u]
+	i := ix.order[uOff+int64(mu-1)]
+	v := ix.g.Dst[uOff+int64(i)]
+	return ix.edgeSimGE(eps, u, uOff+int64(i), v)
+}
+
+// Query computes the exact clustering for (eps, mu) from the index,
+// without any set intersections. The result is identical to running any of
+// the direct algorithms.
+func (ix *Index) Query(eps string, mu int32) (*result.Result, error) {
+	th, err := simdef.NewThreshold(eps, mu)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	g := ix.g
+	n := g.NumVertices()
+	roles := make([]result.Role, n)
+	// Roles from the core-order property.
+	for u := int32(0); u < n; u++ {
+		if ix.IsCore(th.Eps, mu, u) {
+			roles[u] = result.RoleCore
+		} else {
+			roles[u] = result.RoleNonCore
+		}
+	}
+	// Core clustering: scan each core's neighbor order while σ ≥ ε.
+	uf := unionfind.NewSequential(n)
+	for u := int32(0); u < n; u++ {
+		if roles[u] != result.RoleCore {
+			continue
+		}
+		uOff := g.Off[u]
+		deg := int64(g.Degree(u))
+		for k := int64(0); k < deg; k++ {
+			i := int64(ix.order[uOff+k])
+			v := g.Dst[uOff+i]
+			if !ix.edgeSimGE(th.Eps, u, uOff+i, v) {
+				break // neighbor order: everything after is < eps
+			}
+			if u < v && roles[v] == result.RoleCore {
+				uf.Union(u, v)
+			}
+		}
+	}
+	// Cluster ids (minimum core id per set) and non-core memberships.
+	clusterID := make([]int32, n)
+	coreClusterID := make([]int32, n)
+	for i := range clusterID {
+		clusterID[i] = -1
+		coreClusterID[i] = -1
+	}
+	for u := int32(0); u < n; u++ {
+		if roles[u] == result.RoleCore {
+			r := uf.Find(u)
+			if clusterID[r] < 0 || u < clusterID[r] {
+				clusterID[r] = u
+			}
+		}
+	}
+	res := &result.Result{
+		Eps:           th.Eps.String(),
+		Mu:            mu,
+		Roles:         roles,
+		CoreClusterID: coreClusterID,
+	}
+	for u := int32(0); u < n; u++ {
+		if roles[u] != result.RoleCore {
+			continue
+		}
+		id := clusterID[uf.Find(u)]
+		coreClusterID[u] = id
+		uOff := g.Off[u]
+		deg := int64(g.Degree(u))
+		for k := int64(0); k < deg; k++ {
+			i := int64(ix.order[uOff+k])
+			v := g.Dst[uOff+i]
+			if !ix.edgeSimGE(th.Eps, u, uOff+i, v) {
+				break
+			}
+			if roles[v] == result.RoleNonCore {
+				res.NonCore = append(res.NonCore, result.Membership{V: v, ClusterID: id})
+			}
+		}
+	}
+	res.Normalize()
+	res.Stats = result.Stats{
+		Algorithm: "GS*-Index",
+		Workers:   1,
+		Total:     time.Since(start),
+	}
+	return res, nil
+}
+
+// QueryParallel is Query with the role scan, core clustering and non-core
+// membership emission fanned out over workers goroutines (the GS*-Index
+// paper also parallelizes query evaluation). Results are identical to
+// Query; workers < 1 means GOMAXPROCS.
+func (ix *Index) QueryParallel(eps string, mu int32, workers int) (*result.Result, error) {
+	th, err := simdef.NewThreshold(eps, mu)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	g := ix.g
+	n := g.NumVertices()
+	schedOpt := sched.Options{Workers: workers}
+
+	// Roles: O(1) per vertex via the neighbor order.
+	roles := make([]result.Role, n)
+	sched.ForEachVertexStatic(schedOpt.Workers, n, func(u int32, w int) {
+		if ix.IsCore(th.Eps, mu, u) {
+			roles[u] = result.RoleCore
+		} else {
+			roles[u] = result.RoleNonCore
+		}
+	})
+
+	// Core clustering over the wait-free union-find.
+	uf := unionfind.NewConcurrent(n)
+	sched.ForEachVertex(schedOpt, n,
+		func(u int32) bool { return roles[u] == result.RoleCore },
+		g.Degree,
+		func(u int32, w int) {
+			uOff := g.Off[u]
+			deg := int64(g.Degree(u))
+			for k := int64(0); k < deg; k++ {
+				i := int64(ix.order[uOff+k])
+				v := g.Dst[uOff+i]
+				if !ix.edgeSimGE(th.Eps, u, uOff+i, v) {
+					break
+				}
+				if u < v && roles[v] == result.RoleCore {
+					uf.Union(u, v)
+				}
+			}
+		})
+
+	// Cluster ids.
+	clusterID := make([]int32, n)
+	coreClusterID := make([]int32, n)
+	for i := range clusterID {
+		clusterID[i] = -1
+		coreClusterID[i] = -1
+	}
+	for u := int32(0); u < n; u++ {
+		if roles[u] == result.RoleCore {
+			r := uf.Find(u)
+			if clusterID[r] < 0 || u < clusterID[r] {
+				clusterID[r] = u
+			}
+		}
+	}
+
+	// Memberships, gathered per worker and merged.
+	maxWorkers := schedOpt.Workers
+	if maxWorkers < 1 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	local := make([][]result.Membership, maxWorkers)
+	sched.ForEachVertex(schedOpt, n,
+		func(u int32) bool { return roles[u] == result.RoleCore },
+		g.Degree,
+		func(u int32, w int) {
+			id := clusterID[uf.Find(u)]
+			coreClusterID[u] = id
+			uOff := g.Off[u]
+			deg := int64(g.Degree(u))
+			for k := int64(0); k < deg; k++ {
+				i := int64(ix.order[uOff+k])
+				v := g.Dst[uOff+i]
+				if !ix.edgeSimGE(th.Eps, u, uOff+i, v) {
+					break
+				}
+				if roles[v] == result.RoleNonCore {
+					local[w] = append(local[w], result.Membership{V: v, ClusterID: id})
+				}
+			}
+		})
+	res := &result.Result{
+		Eps:           th.Eps.String(),
+		Mu:            mu,
+		Roles:         roles,
+		CoreClusterID: coreClusterID,
+	}
+	for _, l := range local {
+		res.NonCore = append(res.NonCore, l...)
+	}
+	res.Normalize()
+	res.Stats = result.Stats{
+		Algorithm: "GS*-Index",
+		Workers:   maxWorkers,
+		Total:     time.Since(start),
+	}
+	return res, nil
+}
+
+// Validate cross-checks the index invariants: stored counts match
+// recomputed intersections and each neighbor order is non-increasing in
+// similarity. Intended for tests; O(Σ d²).
+func (ix *Index) Validate() error {
+	g := ix.g
+	for u := int32(0); u < g.NumVertices(); u++ {
+		uOff := g.Off[u]
+		nbrs := g.Neighbors(u)
+		du1 := uint64(g.Degree(u)) + 1
+		for i, v := range nbrs {
+			want := intersect.Count(nbrs, g.Neighbors(v)) + 2
+			if got := ix.cn[uOff+int64(i)]; got != want {
+				return fmt.Errorf("gsindex: cn[e(%d,%d)] = %d, want %d", u, v, got, want)
+			}
+		}
+		deg := int64(g.Degree(u))
+		for k := int64(1); k < deg; k++ {
+			a, b := int64(ix.order[uOff+k-1]), int64(ix.order[uOff+k])
+			pa := du1 * (uint64(g.Degree(nbrs[a])) + 1)
+			pb := du1 * (uint64(g.Degree(nbrs[b])) + 1)
+			if simdef.CompareSimValues(ix.cn[uOff+a], pa, ix.cn[uOff+b], pb) < 0 {
+				return fmt.Errorf("gsindex: neighbor order of %d not non-increasing at %d", u, k)
+			}
+		}
+	}
+	return nil
+}

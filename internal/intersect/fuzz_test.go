@@ -1,0 +1,45 @@
+package intersect
+
+import (
+	"sort"
+	"testing"
+
+	"ppscan/internal/simdef"
+)
+
+// FuzzKernelsAgree: for arbitrary inputs, every kernel must agree with the
+// plain-merge ground truth.
+func FuzzKernelsAgree(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4}, uint8(3))
+	f.Add([]byte{}, []byte{}, uint8(1))
+	f.Add([]byte{9, 9, 9}, []byte{9}, uint8(2))
+	f.Fuzz(func(t *testing.T, aRaw, bRaw []byte, cRaw uint8) {
+		a := normalize(aRaw)
+		b := normalize(bRaw)
+		c := int32(cRaw%80) + 1
+		want := simdef.NSim
+		if Count(a, b)+2 >= c {
+			want = simdef.Sim
+		}
+		for _, k := range Kinds() {
+			if got := CompSim(k, a, b, c); got != want {
+				t.Fatalf("kernel %v: got %v want %v (c=%d, a=%v, b=%v)", k, got, want, c, a, b)
+			}
+		}
+	})
+}
+
+// normalize turns raw bytes into a strictly increasing int32 slice (the
+// kernel precondition: sorted, duplicate-free adjacency).
+func normalize(raw []byte) []int32 {
+	seen := map[int32]struct{}{}
+	for _, x := range raw {
+		seen[int32(x)] = struct{}{}
+	}
+	out := make([]int32, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

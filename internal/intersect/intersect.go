@@ -1,0 +1,431 @@
+// Package intersect provides the set-intersection kernels that implement
+// the structural similarity computation CompSim(u, v) (Definition 3.1).
+//
+// Every kernel answers the same question: given the sorted adjacency arrays
+// a = N(u) and b = N(v) of two *adjacent* vertices and the exact threshold
+// c = ⌈ε·√((d[u]+1)(d[v]+1))⌉, is |Γ(u) ∩ Γ(v)| ≥ c?
+//
+// Per Definition 3.9 the intersection count bounds are maintained as
+//
+//	cn = 2                (u and v are always in Γ(u) ∩ Γ(v))
+//	du = d[u] + 2         (upper bound from u's side)
+//	dv = d[v] + 2         (upper bound from v's side)
+//
+// and the early-termination conditions are du < c → NSim, dv < c → NSim,
+// cn ≥ c → Sim. (u and v never appear in N(u) ∩ N(v) because graphs have no
+// self loops, so the "+2" never double-counts.)
+//
+// Kernels:
+//
+//	Merge       — textbook merge count, no early termination (used by the
+//	              SCAN baseline; Theorem 3.4's workload model).
+//	MergeEarly  — pSCAN's merge with min-max early termination.
+//	Gallop      — galloping-search count; demonstrates the paper's remark
+//	              that galloping cannot exploit early termination well.
+//	PivotScalar — the scalar pivot-based kernel (Algorithm 6's fallback
+//	              path); this is the "ppSCAN-NO" kernel of Figure 5.
+//	PivotBlock8 — Algorithm 6 with 8-lane software vectors (AVX2 profile).
+//	PivotBlock16— Algorithm 6 with 16-lane software vectors (AVX512
+//	              profile, the paper's KNL configuration).
+package intersect
+
+import (
+	"fmt"
+	"sort"
+
+	"ppscan/internal/simdef"
+	"ppscan/internal/vec"
+)
+
+// Kind selects a set-intersection kernel.
+type Kind int32
+
+const (
+	// Merge is a full merge-based count without early termination.
+	Merge Kind = iota
+	// MergeEarly is pSCAN's merge with early termination.
+	MergeEarly
+	// Gallop is a galloping-search full count.
+	Gallop
+	// PivotScalar is the scalar pivot kernel with early termination.
+	PivotScalar
+	// PivotBlock8 is the 8-lane (AVX2-profile) vectorized pivot kernel.
+	PivotBlock8
+	// PivotBlock16 is the 16-lane (AVX512-profile) vectorized pivot kernel.
+	PivotBlock16
+	// PivotFused is PivotBlock16 with the block loop fused into a budgeted
+	// multi-block advance: instead of re-checking du/dv after every block,
+	// the cursor advance is capped at the early-termination budget
+	// (du - c), which is arithmetically the same stopping condition with
+	// fewer per-block branches. An engineering extension beyond the paper.
+	PivotFused
+)
+
+var kindNames = map[Kind]string{
+	Merge:        "merge",
+	MergeEarly:   "merge-early",
+	Gallop:       "gallop",
+	PivotScalar:  "pivot-scalar",
+	PivotBlock8:  "pivot-block8",
+	PivotBlock16: "pivot-block16",
+	PivotFused:   "pivot-fused",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int32(k))
+}
+
+// ParseKind maps a kernel name (as printed by String) back to its Kind.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("intersect: unknown kernel %q", s)
+}
+
+// Kinds returns all kernel kinds in a stable order.
+func Kinds() []Kind {
+	return []Kind{Merge, MergeEarly, Gallop, PivotScalar, PivotBlock8, PivotBlock16, PivotFused}
+}
+
+// Count returns |a ∩ b| for sorted slices via a plain merge.
+func Count(a, b []int32) int32 {
+	var cn int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			cn++
+			i++
+			j++
+		}
+	}
+	return cn
+}
+
+// CompSim evaluates the structural similarity predicate for adjacent
+// vertices with sorted neighbor lists a, b and exact threshold minCN.
+// It never returns simdef.Unknown.
+func CompSim(kind Kind, a, b []int32, minCN int32) simdef.EdgeSim {
+	c := minCN
+	// Initial-bound checks (similarity predicate pruning, §3.2.2): these
+	// are shared by every kernel because they need no intersection work.
+	if c <= 2 {
+		return simdef.Sim
+	}
+	if int32(len(a))+2 < c || int32(len(b))+2 < c {
+		return simdef.NSim
+	}
+	switch kind {
+	case Merge:
+		return simFromCount(Count(a, b)+2, c)
+	case Gallop:
+		return simFromCount(gallopCount(a, b)+2, c)
+	case MergeEarly:
+		return mergeEarly(a, b, c)
+	case PivotScalar:
+		return pivotScalar(a, b, c)
+	case PivotBlock8:
+		return pivotBlock8(a, b, c)
+	case PivotBlock16:
+		return pivotBlock16(a, b, c)
+	case PivotFused:
+		return pivotFused(a, b, c)
+	default:
+		panic(fmt.Sprintf("intersect: unknown kernel %v", kind))
+	}
+}
+
+func simFromCount(cn, c int32) simdef.EdgeSim {
+	if cn >= c {
+		return simdef.Sim
+	}
+	return simdef.NSim
+}
+
+// mergeEarly is pSCAN's merge with the three early-termination conditions.
+func mergeEarly(a, b []int32, c int32) simdef.EdgeSim {
+	du := int32(len(a)) + 2
+	dv := int32(len(b)) + 2
+	cn := int32(2)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+			du--
+			if du < c {
+				return simdef.NSim
+			}
+		case a[i] > b[j]:
+			j++
+			dv--
+			if dv < c {
+				return simdef.NSim
+			}
+		default:
+			cn++
+			if cn >= c {
+				return simdef.Sim
+			}
+			i++
+			j++
+		}
+	}
+	return simdef.NSim
+}
+
+// gallopCount intersects by galloping: for each element of the smaller
+// array, exponentially search then binary search in the larger array.
+func gallopCount(a, b []int32) int32 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	var cn int32
+	lo := 0
+	for _, x := range a {
+		// Exponential probe from lo.
+		step := 1
+		hi := lo
+		for hi < len(b) && b[hi] < x {
+			hi += step
+			step <<= 1
+		}
+		if hi > len(b) {
+			hi = len(b)
+		}
+		// Binary search in (lo, hi].
+		idx := lo + sort.Search(hi-lo, func(k int) bool { return b[lo+k] >= x })
+		if idx < len(b) && b[idx] == x {
+			cn++
+			idx++
+		}
+		lo = idx
+		if lo >= len(b) {
+			break
+		}
+	}
+	return cn
+}
+
+// pivotScalar is the non-vectorized pivot kernel: the same control flow as
+// Algorithm 6 with a block width of 1. It is also the tail fallback of the
+// block kernels ("Fall back to the non-vectorized logic", Alg. 6 line 23).
+func pivotScalar(a, b []int32, c int32) simdef.EdgeSim {
+	du := int32(len(a)) + 2
+	dv := int32(len(b)) + 2
+	return pivotScalarFrom(a, b, 0, 0, du, dv, 2, c)
+}
+
+// pivotScalarFrom continues a pivot intersection from cursors (i, j) with
+// running bounds (du, dv, cn).
+func pivotScalarFrom(a, b []int32, i, j int, du, dv, cn, c int32) simdef.EdgeSim {
+	for i < len(a) && j < len(b) {
+		pivot := b[j]
+		// Step 1: advance i to the first a[i] >= pivot.
+		for i < len(a) && a[i] < pivot {
+			i++
+			du--
+			if du < c {
+				return simdef.NSim
+			}
+		}
+		if i >= len(a) {
+			break
+		}
+		// Step 2: advance j to the first b[j] >= a[i].
+		pivot = a[i]
+		for j < len(b) && b[j] < pivot {
+			j++
+			dv--
+			if dv < c {
+				return simdef.NSim
+			}
+		}
+		if j >= len(b) {
+			break
+		}
+		// Step 3: match check.
+		if a[i] == b[j] {
+			cn++
+			if cn >= c {
+				return simdef.Sim
+			}
+			i++
+			j++
+		}
+	}
+	return simdef.NSim
+}
+
+// advanceGE returns the first index >= from with arr[idx] >= pivot. The
+// advance is budgeted: if more than budget elements would be skipped, it
+// reports failure — equivalent to the per-block du/dv < c early
+// termination, since du0 - skipped < c iff skipped > du0 - c.
+func advanceGE(arr []int32, from int, pivot int32, budget int32) (int, bool) {
+	i := from
+	for i+vec.Lanes16 <= len(arr) {
+		bc := vec.CountLessAccel16((*[vec.Lanes16]int32)(arr[i:]), pivot)
+		i += int(bc)
+		if int32(i-from) > budget {
+			return 0, false
+		}
+		if bc < vec.Lanes16 {
+			return i, true
+		}
+	}
+	for i < len(arr) && arr[i] < pivot {
+		i++
+		if int32(i-from) > budget {
+			return 0, false
+		}
+	}
+	return i, true
+}
+
+// pivotFused is the fused-advance form of Algorithm 6.
+func pivotFused(a, b []int32, c int32) simdef.EdgeSim {
+	du := int32(len(a)) + 2
+	dv := int32(len(b)) + 2
+	cn := int32(2)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ni, ok := advanceGE(a, i, b[j], du-c)
+		if !ok {
+			return simdef.NSim
+		}
+		du -= int32(ni - i)
+		i = ni
+		if i >= len(a) {
+			break
+		}
+		nj, ok := advanceGE(b, j, a[i], dv-c)
+		if !ok {
+			return simdef.NSim
+		}
+		dv -= int32(nj - j)
+		j = nj
+		if j >= len(b) {
+			break
+		}
+		if a[i] == b[j] {
+			cn++
+			if cn >= c {
+				return simdef.Sim
+			}
+			i++
+			j++
+		}
+	}
+	return simdef.NSim
+}
+
+// pivotBlock16 is Algorithm 6 with 16-lane software vectors.
+func pivotBlock16(a, b []int32, c int32) simdef.EdgeSim {
+	du := int32(len(a)) + 2
+	dv := int32(len(b)) + 2
+	cn := int32(2)
+	i, j := 0, 0
+	for {
+		// Step 1: find the next pivot offset i with a[i] >= b[j]. Each
+		// iteration is one emulated 512-bit compare+popcount over a sorted
+		// block (vec.RankLess16 — bit-identical to the mask popcount).
+		for i+vec.Lanes16 <= len(a) {
+			bitCnt := vec.CountLessAccel16((*[vec.Lanes16]int32)(a[i:]), b[j])
+			i += int(bitCnt)
+			du -= bitCnt
+			if du < c {
+				return simdef.NSim
+			}
+			if bitCnt < vec.Lanes16 {
+				break
+			}
+		}
+		if i+vec.Lanes16 > len(a) {
+			break
+		}
+		// Step 2: find the next pivot offset j with b[j] >= a[i].
+		for j+vec.Lanes16 <= len(b) {
+			bitCnt := vec.CountLessAccel16((*[vec.Lanes16]int32)(b[j:]), a[i])
+			j += int(bitCnt)
+			dv -= bitCnt
+			if dv < c {
+				return simdef.NSim
+			}
+			if bitCnt < vec.Lanes16 {
+				break
+			}
+		}
+		if j+vec.Lanes16 > len(b) {
+			break
+		}
+		// Step 3: match check and cursor advance.
+		if a[i] == b[j] {
+			cn++
+			if cn >= c {
+				return simdef.Sim
+			}
+			i++
+			j++
+		}
+	}
+	// Tail: fewer than 16 elements remain on one side.
+	return pivotScalarFrom(a, b, i, j, du, dv, cn, c)
+}
+
+// pivotBlock8 is Algorithm 6 with 8-lane software vectors (AVX2 profile).
+func pivotBlock8(a, b []int32, c int32) simdef.EdgeSim {
+	du := int32(len(a)) + 2
+	dv := int32(len(b)) + 2
+	cn := int32(2)
+	i, j := 0, 0
+	for {
+		for i+vec.Lanes8 <= len(a) {
+			bitCnt := vec.CountLessAccel8((*[vec.Lanes8]int32)(a[i:]), b[j])
+			i += int(bitCnt)
+			du -= bitCnt
+			if du < c {
+				return simdef.NSim
+			}
+			if bitCnt < vec.Lanes8 {
+				break
+			}
+		}
+		if i+vec.Lanes8 > len(a) {
+			break
+		}
+		for j+vec.Lanes8 <= len(b) {
+			bitCnt := vec.CountLessAccel8((*[vec.Lanes8]int32)(b[j:]), a[i])
+			j += int(bitCnt)
+			dv -= bitCnt
+			if dv < c {
+				return simdef.NSim
+			}
+			if bitCnt < vec.Lanes8 {
+				break
+			}
+		}
+		if j+vec.Lanes8 > len(b) {
+			break
+		}
+		if a[i] == b[j] {
+			cn++
+			if cn >= c {
+				return simdef.Sim
+			}
+			i++
+			j++
+		}
+	}
+	return pivotScalarFrom(a, b, i, j, du, dv, cn, c)
+}

@@ -1,0 +1,74 @@
+package result
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestRunReport(t *testing.T) {
+	g := hubGraph(t)
+	r := hubResult()
+	r.Normalize()
+	r.Eps = "3/5"
+	r.Mu = 2
+	r.Stats = Stats{
+		Algorithm:    "ppSCAN",
+		Workers:      2,
+		CompSimCalls: 42,
+		Total:        5 * time.Millisecond,
+	}
+	r.Stats.PhaseTimes[PhaseCheckCore] = 3 * time.Millisecond
+	r.Stats.CompSimByPhase[PhaseCheckCore] = 40
+	r.Stats.CompSimByPhase[PhaseClusterNonCore] = 2
+
+	rep := NewRunReport(g, r)
+	if rep.Algorithm != "ppSCAN" || rep.Eps != "3/5" || rep.Mu != 2 {
+		t.Errorf("identity fields: %+v", rep)
+	}
+	if rep.Vertices != 8 || rep.Edges != 9 {
+		t.Errorf("graph fields: %+v", rep)
+	}
+	if rep.Cores != 6 || rep.Clusters != 2 {
+		t.Errorf("clustering fields: %+v", rep)
+	}
+	if rep.Hubs != 1 || rep.Outliers != 1 {
+		t.Errorf("hub/outlier fields: %+v", rep)
+	}
+	if rep.Coverage != 6.0/8.0 {
+		t.Errorf("coverage = %f", rep.Coverage)
+	}
+	if rep.CompSimCalls != 42 || rep.CompSimByPhase[int(PhaseCheckCore)] != 40 {
+		t.Errorf("workload fields: %+v", rep)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if back.Clusters != rep.Clusters || back.Coverage != rep.Coverage {
+		t.Errorf("JSON round trip changed report")
+	}
+}
+
+func TestRunReportOmitsEmptyPhases(t *testing.T) {
+	g := hubGraph(t)
+	r := hubResult()
+	r.Normalize()
+	rep := NewRunReport(g, r) // no stats at all
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("phaseNs")) {
+		t.Errorf("phaseNs should be omitted when empty: %s", buf.String())
+	}
+	if bytes.Contains(buf.Bytes(), []byte("compSimByPhase")) {
+		t.Errorf("compSimByPhase should be omitted when empty")
+	}
+}

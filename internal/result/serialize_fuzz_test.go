@@ -1,0 +1,42 @@
+package result
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead: arbitrary text must never panic; accepted results must
+// round-trip through Write/Read losslessly.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	r := &Result{
+		Eps:           "1/2",
+		Mu:            2,
+		Roles:         []Role{RoleCore, RoleNonCore},
+		CoreClusterID: []int32{0, -1},
+		NonCore:       []Membership{{V: 1, ClusterID: 0}},
+	}
+	_ = Write(&seed, r)
+	f.Add(seed.String())
+	f.Add("")
+	f.Add("# ppscan-result eps=0.5 mu=1 vertices=1\nv 0 N -1\n")
+	f.Add("# ppscan-result eps=0.5 mu=1 vertices=9999999\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		parsed, err := Read(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, parsed); err != nil {
+			t.Fatalf("Write of accepted result failed: %v", err)
+		}
+		back, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-Read of written result failed: %v", err)
+		}
+		if err := Equal(parsed, back); err != nil {
+			t.Fatalf("round trip changed result: %v", err)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package result
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	r := &Result{
+		Eps:           "1/5",
+		Mu:            5,
+		Roles:         []Role{RoleCore, RoleNonCore, RoleCore, RoleNonCore},
+		CoreClusterID: []int32{0, -1, 0, -1},
+		NonCore: []Membership{
+			{V: 1, ClusterID: 0},
+			{V: 3, ClusterID: 0},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Equal(r, got); err != nil {
+		t.Fatalf("round trip changed result: %v", err)
+	}
+	if got.Eps != "1/5" || got.Mu != 5 {
+		t.Errorf("params lost: %s %d", got.Eps, got.Mu)
+	}
+}
+
+func TestSerializeDeterministic(t *testing.T) {
+	r := &Result{
+		Eps:           "0.5",
+		Mu:            2,
+		Roles:         []Role{RoleCore, RoleCore},
+		CoreClusterID: []int32{0, 0},
+	}
+	var a, b bytes.Buffer
+	if err := Write(&a, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("serialization not deterministic")
+	}
+}
+
+func TestSerializeEmpty(t *testing.T) {
+	r := &Result{Eps: "1/2", Mu: 1}
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Roles) != 0 || len(got.NonCore) != 0 {
+		t.Errorf("empty round trip produced %d roles, %d memberships", len(got.Roles), len(got.NonCore))
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"nonsense\n",
+		"# ppscan-result eps=0.5 mu=x vertices=1\n",
+		"# ppscan-result eps=0.5 mu=1 vertices=-1\n",
+		"# ppscan-result eps=0.5 mu=1 vertices=1\nv 5 C 0\n",                 // vertex out of range
+		"# ppscan-result eps=0.5 mu=1 vertices=1\nv 0 X 0\n",                 // bad role
+		"# ppscan-result eps=0.5 mu=1 vertices=1\nq 0 0\n",                   // bad record
+		"# ppscan-result eps=0.5 mu=1 vertices=1\nm 9 0\n",                   // membership out of range
+		"# ppscan-result eps=0.5 mu=1 vertices=1 bogus\n",                    // bad header field
+		"# ppscan-result eps=0.5 mu=1 wat=1\n",                               // unknown header key
+		"# ppscan-result eps=0.5 mu=1 vertices=2\nv 0 C 0\n",                 // missing vertex record
+		"# ppscan-result eps=0.5 mu=1 vertices=1\nv 0 C 0\nv 0 C 0\nm 0 0\n", // duplicate record
+	}
+	for _, in := range bad {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read accepted %q", in)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# ppscan-result eps=0.5 mu=1 vertices=1\n\n# comment\nv 0 N -1\n"
+	r, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Roles[0] != RoleNonCore {
+		t.Errorf("role = %v", r.Roles[0])
+	}
+}

@@ -1,0 +1,63 @@
+package scanpp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ppscan/internal/algotest"
+	"ppscan/internal/intersect"
+	"ppscan/internal/result"
+	"ppscan/internal/scan"
+	"ppscan/internal/simdef"
+)
+
+func TestGroundTruthCorpus(t *testing.T) {
+	for _, tc := range algotest.Corpus() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			for _, th := range algotest.Params() {
+				r := Run(tc.G, th, Options{Kernel: intersect.MergeEarly})
+				if err := algotest.CheckGroundTruth(tc.G, r, th); err != nil {
+					t.Fatalf("%s: %v", tc.Name, err)
+				}
+			}
+		})
+	}
+}
+
+func TestMatchesSCANQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		g := algotest.RandomGraph(seed)
+		th := algotest.RandomThreshold(seed)
+		want := scan.Run(g, th, scan.Options{Kernel: intersect.Merge})
+		got := Run(g, th, Options{Kernel: intersect.MergeEarly})
+		return result.Equal(want, got) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilaritySharing(t *testing.T) {
+	// SCAN++ shares similarities: at most one computation per undirected
+	// edge, but (unlike pSCAN) no pruning — on a connected dense graph it
+	// computes essentially every edge regardless of eps.
+	g := algotest.RandomGraph(41)
+	for _, eps := range []string{"0.2", "0.8"} {
+		th, _ := simdef.NewThreshold(eps, 5)
+		r := Run(g, th, Options{Kernel: intersect.MergeEarly})
+		if r.Stats.CompSimCalls > g.NumEdges() {
+			t.Errorf("eps=%s: %d calls > |E| = %d (sharing broken)",
+				eps, r.Stats.CompSimCalls, g.NumEdges())
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := algotest.RandomGraph(43)
+	th, _ := simdef.NewThreshold("0.4", 3)
+	r := Run(g, th, Options{})
+	if r.Stats.Algorithm != "SCAN++" || r.Stats.Workers != 1 || r.Stats.Total <= 0 {
+		t.Errorf("stats = %+v", r.Stats)
+	}
+}

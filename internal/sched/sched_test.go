@@ -1,0 +1,222 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachVertexVisitsAll(t *testing.T) {
+	n := int32(10000)
+	var visited sync.Map
+	var count int64
+	ForEachVertex(Options{Workers: 4, DegreeThreshold: 100}, n,
+		func(int32) bool { return true },
+		func(int32) int32 { return 3 },
+		func(u int32, worker int) {
+			if _, dup := visited.LoadOrStore(u, true); dup {
+				t.Errorf("vertex %d processed twice", u)
+			}
+			atomic.AddInt64(&count, 1)
+		})
+	if count != int64(n) {
+		t.Fatalf("processed %d vertices, want %d", count, n)
+	}
+}
+
+func TestForEachVertexRespectsNeed(t *testing.T) {
+	n := int32(5000)
+	var count int64
+	ForEachVertex(Options{Workers: 3, DegreeThreshold: 64}, n,
+		func(u int32) bool { return u%7 == 0 },
+		func(int32) int32 { return 1 },
+		func(u int32, worker int) {
+			if u%7 != 0 {
+				t.Errorf("vertex %d should have been filtered", u)
+			}
+			atomic.AddInt64(&count, 1)
+		})
+	want := int64((n + 6) / 7)
+	if count != want {
+		t.Fatalf("processed %d, want %d", count, want)
+	}
+}
+
+func TestForEachVertexEmptyAndSingle(t *testing.T) {
+	var count int64
+	ForEachVertex(Options{}, 0, func(int32) bool { return true },
+		func(int32) int32 { return 1 },
+		func(int32, int) { atomic.AddInt64(&count, 1) })
+	if count != 0 {
+		t.Errorf("empty run processed %d", count)
+	}
+	ForEachVertex(Options{}, 1, func(int32) bool { return true },
+		func(int32) int32 { return 1000000 },
+		func(int32, int) { atomic.AddInt64(&count, 1) })
+	if count != 1 {
+		t.Errorf("single-vertex run processed %d", count)
+	}
+}
+
+func TestWorkerIndexInRange(t *testing.T) {
+	workers := 5
+	ForEachVertex(Options{Workers: workers, DegreeThreshold: 10}, 1000,
+		func(int32) bool { return true },
+		func(int32) int32 { return 1 },
+		func(u int32, w int) {
+			if w < 0 || w >= workers {
+				t.Errorf("worker index %d out of range", w)
+			}
+		})
+}
+
+func TestTaskGranularity(t *testing.T) {
+	// With threshold T and uniform degree d, tasks should hold about T/d
+	// vertices each.
+	n := int32(1 << 14)
+	var mu sync.Mutex
+	var ranges []Range
+	pool := NewPool(1, func(r Range, worker int) {
+		mu.Lock()
+		ranges = append(ranges, r)
+		mu.Unlock()
+	})
+	var degSum int64
+	beg := int32(0)
+	const threshold = 1024
+	const deg = 16
+	for u := int32(0); u < n; u++ {
+		degSum += deg
+		if degSum > threshold {
+			pool.Submit(Range{beg, u + 1})
+			degSum = 0
+			beg = u + 1
+		}
+	}
+	pool.Submit(Range{beg, n})
+	pool.Join()
+	// Expected vertices per task: threshold/deg + 1 = 65.
+	for i, r := range ranges[:len(ranges)-1] {
+		if got := r.End - r.Beg; got != threshold/deg+1 {
+			t.Fatalf("task %d holds %d vertices, want %d", i, got, threshold/deg+1)
+		}
+	}
+	// Ranges must tile [0, n) exactly.
+	var next int32
+	for _, r := range ranges {
+		if r.Beg != next {
+			t.Fatalf("gap or overlap at %d (next=%d)", r.Beg, next)
+		}
+		next = r.End
+	}
+	if next != n {
+		t.Fatalf("ranges end at %d, want %d", next, n)
+	}
+}
+
+func TestSkewedDegreesSplitTasks(t *testing.T) {
+	// One huge-degree vertex must close its task quickly so followers land
+	// in new tasks: count submissions.
+	n := int32(100)
+	deg := func(u int32) int32 {
+		if u == 10 {
+			return 1 << 20
+		}
+		return 1
+	}
+	var processed int64
+	pool := NewPool(2, func(r Range, worker int) {
+		atomic.AddInt64(&processed, int64(r.End-r.Beg))
+	})
+	var degSum int64
+	beg := int32(0)
+	for u := int32(0); u < n; u++ {
+		degSum += int64(deg(u))
+		if degSum > DefaultDegreeThreshold {
+			pool.Submit(Range{beg, u + 1})
+			degSum = 0
+			beg = u + 1
+		}
+	}
+	pool.Submit(Range{beg, n})
+	submitted := pool.Submitted()
+	pool.Join()
+	if processed != int64(n) {
+		t.Fatalf("processed %d, want %d", processed, n)
+	}
+	if submitted != 2 {
+		t.Fatalf("submitted %d tasks, want 2 (split at the hub)", submitted)
+	}
+}
+
+func TestForEachVertexStatic(t *testing.T) {
+	n := int32(777)
+	var count int64
+	ForEachVertexStatic(4, n, func(u int32, w int) {
+		atomic.AddInt64(&count, 1)
+	})
+	if count != int64(n) {
+		t.Fatalf("static processed %d, want %d", count, n)
+	}
+	// More workers than vertices.
+	count = 0
+	ForEachVertexStatic(64, 5, func(u int32, w int) {
+		atomic.AddInt64(&count, 1)
+	})
+	if count != 5 {
+		t.Fatalf("static small-n processed %d, want 5", count)
+	}
+	ForEachVertexStatic(4, 0, func(u int32, w int) { t.Error("should not run") })
+}
+
+func TestPoolDropsEmptyRanges(t *testing.T) {
+	pool := NewPool(1, func(r Range, worker int) {
+		t.Errorf("empty range executed: %+v", r)
+	})
+	pool.Submit(Range{5, 5})
+	pool.Submit(Range{7, 3})
+	if pool.Submitted() != 0 {
+		t.Errorf("empty ranges counted as submissions")
+	}
+	pool.Join()
+}
+
+func TestDefaultsNormalization(t *testing.T) {
+	o := Options{}.normalized()
+	if o.Workers < 1 || o.DegreeThreshold != DefaultDegreeThreshold {
+		t.Errorf("normalized = %+v", o)
+	}
+	o = Options{Workers: 3, DegreeThreshold: 99}.normalized()
+	if o.Workers != 3 || o.DegreeThreshold != 99 {
+		t.Errorf("normalized overrode explicit values: %+v", o)
+	}
+}
+
+// Property: every vertex with need() true is processed exactly once, for
+// arbitrary worker counts and thresholds.
+func TestExactlyOnceQuick(t *testing.T) {
+	f := func(workersRaw, threshRaw uint8, nRaw uint16) bool {
+		workers := int(workersRaw%8) + 1
+		threshold := int64(threshRaw%200) + 1
+		n := int32(nRaw % 3000)
+		counts := make([]int32, n)
+		ForEachVertex(Options{Workers: workers, DegreeThreshold: threshold}, n,
+			func(u int32) bool { return u%3 != 0 },
+			func(u int32) int32 { return u % 50 },
+			func(u int32, w int) { atomic.AddInt32(&counts[u], 1) })
+		for u := int32(0); u < n; u++ {
+			want := int32(1)
+			if u%3 == 0 {
+				want = 0
+			}
+			if counts[u] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

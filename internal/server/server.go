@@ -1,0 +1,267 @@
+// Package server implements an HTTP service for online structural
+// clustering — the application the ppSCAN paper motivates in §1: with
+// sub-minute clustering (or a prebuilt GS*-Index), analysts can explore
+// (ε, µ) parameterizations of a big graph interactively.
+//
+// The service loads one graph at startup and exposes:
+//
+//	GET /healthz                    — liveness and graph statistics
+//	GET /cluster?eps=0.6&mu=5       — run clustering (algo= selects the
+//	                                  algorithm; default ppscan) and return
+//	                                  a JSON summary
+//	GET /cluster?...&members=true   — include full cluster member lists
+//	GET /vertex?v=17&eps=0.6&mu=5   — role, cluster(s) and attachment of
+//	                                  one vertex
+//	GET /quality?eps=0.6&mu=5       — modularity/coverage and top clusters
+//
+// When the server is constructed with an index (WithIndex), /cluster and
+// /vertex are answered from the GS*-Index in O(answer) time; otherwise
+// each request runs the configured algorithm. Responses for identical
+// parameters are cached.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"ppscan"
+	"ppscan/graph"
+	"ppscan/quality"
+)
+
+// Server answers structural clustering queries over one immutable graph.
+type Server struct {
+	g       *graph.Graph
+	ix      *ppscan.Index
+	workers int
+
+	mu    sync.Mutex
+	cache map[cacheKey]*ppscan.Result
+}
+
+type cacheKey struct {
+	eps  string
+	mu   int
+	algo ppscan.Algorithm
+}
+
+// New creates a server that runs the selected algorithm per request.
+func New(g *graph.Graph, workers int) *Server {
+	return &Server{g: g, workers: workers, cache: map[cacheKey]*ppscan.Result{}}
+}
+
+// WithIndex attaches a prebuilt GS*-Index; index-served queries ignore the
+// algo parameter.
+func (s *Server) WithIndex(ix *ppscan.Index) *Server {
+	s.ix = ix
+	return s
+}
+
+// Handler returns the HTTP handler exposing all endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/cluster", s.handleCluster)
+	mux.HandleFunc("/vertex", s.handleVertex)
+	mux.HandleFunc("/quality", s.handleQuality)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := graph.ComputeStats("graph", s.g)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"vertices":  st.NumVertices,
+		"edges":     st.NumEdges / 2,
+		"avgDegree": st.AvgDegree,
+		"maxDegree": st.MaxDegree,
+		"indexed":   s.ix != nil,
+	})
+}
+
+// params parses the shared eps/mu/algo query parameters.
+func (s *Server) params(r *http.Request) (eps string, mu int, algo ppscan.Algorithm, err error) {
+	q := r.URL.Query()
+	eps = q.Get("eps")
+	if eps == "" {
+		return "", 0, "", fmt.Errorf("missing eps parameter")
+	}
+	muStr := q.Get("mu")
+	if muStr == "" {
+		return "", 0, "", fmt.Errorf("missing mu parameter")
+	}
+	mu, err = strconv.Atoi(muStr)
+	if err != nil {
+		return "", 0, "", fmt.Errorf("bad mu %q", muStr)
+	}
+	algo = ppscan.Algorithm(q.Get("algo"))
+	if algo == "" {
+		algo = ppscan.AlgoPPSCAN
+	}
+	return eps, mu, algo, nil
+}
+
+// resolve runs (or serves from cache/index) the clustering for the given
+// parameters.
+func (s *Server) resolve(eps string, mu int, algo ppscan.Algorithm) (*ppscan.Result, error) {
+	key := cacheKey{eps: eps, mu: mu, algo: algo}
+	if s.ix != nil {
+		key.algo = "index"
+	}
+	s.mu.Lock()
+	cached, ok := s.cache[key]
+	s.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	var res *ppscan.Result
+	var err error
+	if s.ix != nil {
+		if mu <= 0 || mu > 1<<30 {
+			return nil, fmt.Errorf("mu out of range")
+		}
+		res, err = s.ix.Query(eps, int32(mu))
+	} else {
+		res, err = ppscan.Run(s.g, ppscan.Options{
+			Algorithm: algo, Epsilon: eps, Mu: mu, Workers: s.workers,
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.cache[key] = res
+	s.mu.Unlock()
+	return res, nil
+}
+
+// clusterSummary is the /cluster response body.
+type clusterSummary struct {
+	Eps          string            `json:"eps"`
+	Mu           int               `json:"mu"`
+	Algorithm    string            `json:"algorithm"`
+	Clusters     int               `json:"clusters"`
+	Cores        int               `json:"cores"`
+	Memberships  int               `json:"memberships"`
+	Coverage     float64           `json:"coverage"`
+	RuntimeMs    float64           `json:"runtimeMs"`
+	CompSimCalls int64             `json:"compSimCalls"`
+	Members      map[int32][]int32 `json:"members,omitempty"`
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	eps, mu, algo, err := s.params(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.resolve(eps, mu, algo)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := clusterSummary{
+		Eps:          eps,
+		Mu:           mu,
+		Algorithm:    res.Stats.Algorithm,
+		Clusters:     res.NumClusters(),
+		Cores:        res.NumCores(),
+		Memberships:  len(res.NonCore),
+		Coverage:     quality.Coverage(res),
+		RuntimeMs:    float64(res.Stats.Total) / float64(time.Millisecond),
+		CompSimCalls: res.Stats.CompSimCalls,
+	}
+	if r.URL.Query().Get("members") == "true" {
+		out.Members = res.Clusters()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// vertexInfo is the /vertex response body.
+type vertexInfo struct {
+	Vertex     int32   `json:"vertex"`
+	Degree     int32   `json:"degree"`
+	Role       string  `json:"role"`
+	Clusters   []int32 `json:"clusters"`
+	Attachment string  `json:"attachment"`
+}
+
+func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	eps, mu, algo, err := s.params(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	vStr := r.URL.Query().Get("v")
+	v64, err := strconv.ParseInt(vStr, 10, 32)
+	if err != nil || v64 < 0 || v64 >= int64(s.g.NumVertices()) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad vertex %q", vStr))
+		return
+	}
+	v := int32(v64)
+	res, err := s.resolve(eps, mu, algo)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var clusters []int32
+	if id := res.CoreClusterID[v]; id >= 0 {
+		clusters = append(clusters, id)
+	}
+	for _, m := range res.NonCore {
+		if m.V == v {
+			clusters = append(clusters, m.ClusterID)
+		}
+	}
+	att := ppscan.ClassifyHubsOutliers(s.g, res)
+	writeJSON(w, http.StatusOK, vertexInfo{
+		Vertex:     v,
+		Degree:     s.g.Degree(v),
+		Role:       res.Roles[v].String(),
+		Clusters:   clusters,
+		Attachment: att[v].String(),
+	})
+}
+
+// qualityInfo is the /quality response body.
+type qualityInfo struct {
+	Modularity  float64                 `json:"modularity"`
+	Coverage    float64                 `json:"coverage"`
+	TopClusters []quality.ClusterReport `json:"topClusters"`
+}
+
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	eps, mu, algo, err := s.params(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.resolve(eps, mu, algo)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	reports := quality.Report(s.g, res)
+	if len(reports) > 10 {
+		reports = reports[:10]
+	}
+	writeJSON(w, http.StatusOK, qualityInfo{
+		Modularity:  quality.Modularity(s.g, res),
+		Coverage:    quality.Coverage(res),
+		TopClusters: reports,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,29 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuid1ecx() uint64
+TEXT ·cpuid1ecx(SB), NOSPLIT, $0-8
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVLQZX CX, CX
+	MOVQ CX, ret+0(FP)
+	RET
+
+// func cpuid7ebx() uint64
+TEXT ·cpuid7ebx(SB), NOSPLIT, $0-8
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	MOVLQZX BX, BX
+	MOVQ BX, ret+0(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

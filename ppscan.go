@@ -1,0 +1,254 @@
+// Package ppscan is a Go implementation of structural graph clustering in
+// the SCAN family, reproducing "Parallelizing Pruning-based Graph
+// Structural Clustering" (Che, Sun, Luo; ICPP 2018).
+//
+// Given an undirected graph and parameters 0 < ε ≤ 1, µ ≥ 1, the library
+// computes the exact SCAN clustering: every vertex's role (core or
+// non-core), the disjoint clusters of cores, the cluster memberships of
+// non-cores, and — optionally — the hub/outlier classification of
+// unclustered vertices.
+//
+// Eight algorithm selections produce identical results at very different
+// speeds:
+//
+//   - AlgoPPSCAN   — the paper's parallel, multi-phase, lock-free ppSCAN
+//     with the pivot-based block-vectorized intersection kernel (default);
+//   - AlgoPPSCANNO — ppSCAN with pSCAN's scalar merge kernel (the paper's
+//     ppSCAN-NO ablation);
+//   - AlgoPSCAN    — the sequential pruning-based pSCAN baseline;
+//   - AlgoSCAN     — the original exhaustive sequential SCAN;
+//   - AlgoSCANXP   — the parallel exhaustive SCAN-XP baseline;
+//   - AlgoAnySCAN  — a surrogate of the anySCAN parallel baseline;
+//   - AlgoSCANPP   — a SCAN++-style similarity-sharing sequential baseline;
+//   - AlgoDistSCAN — a partitioned BSP surrogate of the distributed
+//     SparkSCAN/PSCAN systems, reporting communication bytes.
+//
+// Quick start:
+//
+//	g, _ := graph.FromEdges(n, edges)
+//	res, err := ppscan.Run(g, ppscan.Options{Epsilon: "0.6", Mu: 3})
+//	if err != nil { ... }
+//	clusters := res.Clusters()
+//
+// Graph construction and I/O live in the ppscan/graph package.
+package ppscan
+
+import (
+	"fmt"
+	"io"
+
+	"ppscan/graph"
+	"ppscan/internal/anyscan"
+	"ppscan/internal/core"
+	"ppscan/internal/distscan"
+	"ppscan/internal/gsindex"
+	"ppscan/internal/intersect"
+	"ppscan/internal/pscan"
+	"ppscan/internal/result"
+	"ppscan/internal/scan"
+	"ppscan/internal/scanpp"
+	"ppscan/internal/scanxp"
+	"ppscan/internal/simdef"
+)
+
+// Algorithm selects which clustering algorithm to run. All algorithms
+// produce identical results.
+type Algorithm string
+
+const (
+	// AlgoPPSCAN is the paper's parallel ppSCAN (default).
+	AlgoPPSCAN Algorithm = "ppscan"
+	// AlgoPPSCANNO is ppSCAN without the vectorized intersection kernel.
+	AlgoPPSCANNO Algorithm = "ppscan-no"
+	// AlgoPSCAN is the sequential pruning-based baseline.
+	AlgoPSCAN Algorithm = "pscan"
+	// AlgoSCAN is the original exhaustive sequential algorithm.
+	AlgoSCAN Algorithm = "scan"
+	// AlgoSCANXP is the parallel exhaustive baseline.
+	AlgoSCANXP Algorithm = "scan-xp"
+	// AlgoAnySCAN is the anySCAN-surrogate parallel baseline.
+	AlgoAnySCAN Algorithm = "anyscan"
+	// AlgoSCANPP is the SCAN++-style sequential baseline.
+	AlgoSCANPP Algorithm = "scan++"
+	// AlgoDistSCAN is the partitioned/distributed surrogate (SparkSCAN /
+	// PSCAN family); Workers selects the partition count and
+	// Stats.CommBytes reports the communication overhead.
+	AlgoDistSCAN Algorithm = "dist-scan"
+)
+
+// Algorithms lists every supported algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgoPPSCAN, AlgoPPSCANNO, AlgoPSCAN, AlgoSCAN, AlgoSCANXP, AlgoAnySCAN, AlgoSCANPP, AlgoDistSCAN}
+}
+
+// Result re-exports the shared result type: roles, core cluster ids,
+// non-core memberships, and run statistics.
+type Result = result.Result
+
+// Role is a vertex role.
+type Role = result.Role
+
+// Role values.
+const (
+	RoleUnknown = result.RoleUnknown
+	RoleCore    = result.RoleCore
+	RoleNonCore = result.RoleNonCore
+)
+
+// Membership is one (non-core vertex, cluster id) pair.
+type Membership = result.Membership
+
+// Attachment classifies unclustered vertices as hubs or outliers.
+type Attachment = result.Attachment
+
+// Attachment values.
+const (
+	AttachClustered = result.AttachClustered
+	AttachHub       = result.AttachHub
+	AttachOutlier   = result.AttachOutlier
+)
+
+// Options configures a clustering run.
+type Options struct {
+	// Algorithm selects the implementation; empty means AlgoPPSCAN.
+	Algorithm Algorithm
+	// Epsilon is the similarity threshold as a decimal string ("0.6") or
+	// rational ("3/5"); required, must be in (0, 1]. A string keeps the
+	// value exact — every algorithm and kernel then agrees bit-for-bit on
+	// borderline edges.
+	Epsilon string
+	// Mu is the core threshold µ ≥ 1; required.
+	Mu int
+	// Workers bounds parallel algorithms' worker goroutines; < 1 means
+	// GOMAXPROCS. Ignored by sequential algorithms.
+	Workers int
+	// Kernel optionally overrides the set-intersection kernel by name
+	// ("merge", "merge-early", "gallop", "pivot-scalar", "pivot-block8",
+	// "pivot-block16", "pivot-fused"). Empty selects each algorithm's
+	// paper-faithful default.
+	Kernel string
+	// DegreeThreshold overrides ppSCAN's task-granularity constant
+	// (default 32768).
+	DegreeThreshold int64
+	// StaticScheduling disables ppSCAN's degree-based dynamic scheduler
+	// (ablation knob).
+	StaticScheduling bool
+}
+
+// Run executes the selected algorithm on g and returns its clustering.
+func Run(g *graph.Graph, opt Options) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("ppscan: nil graph")
+	}
+	if opt.Mu < 1 {
+		return nil, fmt.Errorf("ppscan: Mu = %d, want >= 1", opt.Mu)
+	}
+	if opt.Mu > 1<<30 {
+		return nil, fmt.Errorf("ppscan: Mu = %d too large", opt.Mu)
+	}
+	th, err := simdef.NewThreshold(opt.Epsilon, int32(opt.Mu))
+	if err != nil {
+		return nil, err
+	}
+	algo := opt.Algorithm
+	if algo == "" {
+		algo = AlgoPPSCAN
+	}
+	kernel, err := kernelFor(algo, opt.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	switch algo {
+	case AlgoPPSCAN, AlgoPPSCANNO:
+		res := core.Run(g, th, core.Options{
+			Kernel:           kernel,
+			Workers:          opt.Workers,
+			DegreeThreshold:  opt.DegreeThreshold,
+			StaticScheduling: opt.StaticScheduling,
+		})
+		if algo == AlgoPPSCANNO {
+			res.Stats.Algorithm = "ppSCAN-NO"
+		}
+		return res, nil
+	case AlgoPSCAN:
+		return pscan.Run(g, th, pscan.Options{Kernel: kernel}), nil
+	case AlgoSCAN:
+		return scan.Run(g, th, scan.Options{Kernel: kernel}), nil
+	case AlgoSCANXP:
+		return scanxp.Run(g, th, scanxp.Options{Kernel: kernel, Workers: opt.Workers}), nil
+	case AlgoAnySCAN:
+		return anyscan.Run(g, th, anyscan.Options{Kernel: kernel, Workers: opt.Workers}), nil
+	case AlgoSCANPP:
+		return scanpp.Run(g, th, scanpp.Options{Kernel: kernel}), nil
+	case AlgoDistSCAN:
+		return distscan.Run(g, th, distscan.Options{Kernel: kernel, Partitions: opt.Workers}), nil
+	default:
+		return nil, fmt.Errorf("ppscan: unknown algorithm %q", opt.Algorithm)
+	}
+}
+
+// kernelFor resolves the kernel override or each algorithm's default.
+func kernelFor(algo Algorithm, name string) (intersect.Kind, error) {
+	if name != "" {
+		return intersect.ParseKind(name)
+	}
+	switch algo {
+	case AlgoPPSCAN:
+		return intersect.PivotBlock16, nil
+	case AlgoPPSCANNO, AlgoPSCAN, AlgoAnySCAN, AlgoSCANPP, AlgoDistSCAN:
+		return intersect.MergeEarly, nil
+	case AlgoSCAN, AlgoSCANXP:
+		return intersect.Merge, nil
+	default:
+		return 0, fmt.Errorf("ppscan: unknown algorithm %q", algo)
+	}
+}
+
+// Index is a GS*-Index-style precomputed structure answering any (ε, µ)
+// clustering query without set intersections — the index-based alternative
+// for interactive parameter exploration discussed in the paper's related
+// work (§3.3). Build once with BuildIndex, then call Query repeatedly.
+type Index = gsindex.Index
+
+// BuildIndex precomputes the structural clustering index for g. The build
+// performs one exhaustive similarity pass (the trade-off the ppSCAN paper
+// highlights: indexing costs roughly a SCAN-XP run, queries are then
+// near-instant for any parameters). workers < 1 means GOMAXPROCS.
+func BuildIndex(g *graph.Graph, workers int) *Index {
+	return gsindex.Build(g, gsindex.BuildOptions{Workers: workers})
+}
+
+// SaveIndex serializes an index's payload; load it back with LoadIndex and
+// the same graph.
+func SaveIndex(w io.Writer, ix *Index) error {
+	return ix.Save(w)
+}
+
+// LoadIndex deserializes an index previously written by SaveIndex,
+// attaching it to g (which must be the graph the index was built from).
+func LoadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
+	return gsindex.Load(r, g)
+}
+
+// ClassifyHubsOutliers labels every vertex of g as clustered, hub, or
+// outlier given a clustering result (Definition 2.10 of the paper).
+func ClassifyHubsOutliers(g *graph.Graph, r *Result) []Attachment {
+	return result.ClassifyHubsOutliers(g, r)
+}
+
+// Equal compares two results for semantic equality, returning a
+// descriptive error on the first difference (nil when equal).
+func Equal(a, b *Result) error {
+	return result.Equal(a, b)
+}
+
+// WriteResult serializes a result in a stable, diffable text format; two
+// Equal results always serialize identically.
+func WriteResult(w io.Writer, r *Result) error {
+	return result.Write(w, r)
+}
+
+// ReadResult parses a result written by WriteResult.
+func ReadResult(r io.Reader) (*Result, error) {
+	return result.Read(r)
+}

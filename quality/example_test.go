@@ -1,0 +1,39 @@
+package quality_test
+
+import (
+	"fmt"
+	"log"
+
+	"ppscan"
+	"ppscan/graph"
+	"ppscan/quality"
+)
+
+func ExampleModularity() {
+	// Two K4s joined by one bridge: clustering them separately scores high
+	// modularity.
+	g, err := graph.FromEdges(8, []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3},
+		{U: 4, V: 5}, {U: 4, V: 6}, {U: 4, V: 7}, {U: 5, V: 6}, {U: 5, V: 7}, {U: 6, V: 7},
+		{U: 3, V: 4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ppscan.Run(g, ppscan.Options{Epsilon: "0.7", Mu: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clusters: %d\n", res.NumClusters())
+	fmt.Printf("modularity: %.3f\n", quality.Modularity(g, res))
+	fmt.Printf("coverage: %.2f\n", quality.Coverage(res))
+	for _, rep := range quality.Report(g, res) {
+		fmt.Println(rep)
+	}
+	// Output:
+	// clusters: 2
+	// modularity: 0.423
+	// coverage: 1.00
+	// cluster 0: size=4 conductance=0.077 density=1.000
+	// cluster 4: size=4 conductance=0.077 density=1.000
+}
