@@ -1,0 +1,32 @@
+# Convenience targets; the repo needs only the Go toolchain.
+
+GO ?= go
+
+.PHONY: build test vet race check bench bench-obsv
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The pre-merge gate: static checks plus the full suite under the race
+# detector (the parallel phases, scheduler telemetry and HTTP middleware
+# are all exercised concurrently).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 10x .
+
+# Instrumented-vs-nop registry overhead on the core engine (<2% target;
+# numbers recorded in EXPERIMENTS.md).
+bench-obsv:
+	$(GO) test -run xxx -bench BenchmarkObsvOverhead -benchtime 30x -count 3 .

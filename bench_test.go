@@ -18,6 +18,7 @@ import (
 	"ppscan/internal/dataset"
 	"ppscan/internal/expharness"
 	"ppscan/internal/intersect"
+	"ppscan/internal/obsv"
 	"ppscan/internal/simdef"
 )
 
@@ -257,6 +258,27 @@ func BenchmarkAblationPPSCANKernel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// Observability overhead: a fully instrumented run (live registry —
+// per-worker kernel telemetry, scheduler histograms, registry publication)
+// vs a nop registry that disables collection. The instrumented/baseline
+// ratio is the number quoted in EXPERIMENTS.md; the design target is < 2%.
+func BenchmarkObsvOverhead(b *testing.B) {
+	g := benchGraph(b)
+	th := mustTh(b, "0.2", 5)
+	b.Run("instrumented", func(b *testing.B) {
+		reg := obsv.New()
+		for i := 0; i < b.N; i++ {
+			core.Run(g, th, core.Options{Kernel: intersect.PivotBlock16, Registry: reg})
+		}
+	})
+	b.Run("nop", func(b *testing.B) {
+		reg := obsv.NewNop()
+		for i := 0; i < b.N; i++ {
+			core.Run(g, th, core.Options{Kernel: intersect.PivotBlock16, Registry: reg})
+		}
+	})
 }
 
 func sizeName(n int64) string {

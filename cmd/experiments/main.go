@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"ppscan/internal/expharness"
+	"ppscan/internal/obsv"
 )
 
 func main() {
@@ -29,6 +31,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "reduced parameter grids (smoke test)")
 		csvDir  = flag.String("csv", "", "also write machine-readable <id>.csv files into this directory")
 		charts  = flag.Bool("charts", false, "render terminal bar charts for figure experiments")
+		metrics = flag.Bool("metrics", false, "after the runs, print the accumulated metrics-registry snapshot as JSON")
 	)
 	flag.Parse()
 
@@ -56,6 +59,7 @@ func main() {
 		for _, e := range expharness.Experiments() {
 			runOne(e, cfg, *csvDir)
 		}
+		dumpMetrics(*metrics)
 		return
 	}
 	e, err := expharness.Lookup(*run)
@@ -64,6 +68,21 @@ func main() {
 		os.Exit(1)
 	}
 	runOne(e, cfg, *csvDir)
+	dumpMetrics(*metrics)
+}
+
+// dumpMetrics prints the process-global registry (phase, kernel and
+// scheduler totals accumulated across every run performed) as JSON.
+func dumpMetrics(enabled bool) {
+	if !enabled {
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(obsv.Default().Snapshot()); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 }
 
 func runOne(e expharness.Experiment, cfg expharness.Config, csvDir string) {

@@ -7,9 +7,11 @@
 //	ppscan -graph web.txt -eps 0.6 -mu 5
 //	ppscan -dataset orkut-sim -algo pscan -eps 0.2 -mu 5 -stats
 //	ppscan -dataset ROLL-d40 -eps 0.5 -mu 5 -workers 8 -kernel pivot-block16 -clusters
+//	ppscan -dataset ROLL-d40 -eps 0.5 -mu 5 -trace run.json -stats-json stats.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,8 +19,12 @@ import (
 
 	"ppscan"
 	"ppscan/graph"
+	"ppscan/internal/core"
 	"ppscan/internal/dataset"
+	"ppscan/internal/intersect"
+	"ppscan/internal/obsv"
 	"ppscan/internal/result"
+	"ppscan/internal/simdef"
 	"time"
 )
 
@@ -38,6 +44,8 @@ func main() {
 		outPath   = flag.String("o", "", "write the full result (roles, clusters, memberships) to this file")
 		jsonOut   = flag.Bool("json", false, "print a machine-readable JSON run report instead of the summary line")
 		quiet     = flag.Bool("q", false, "suppress the summary line")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (algo ppscan/ppscan-no only); open in chrome://tracing or ui.perfetto.dev")
+		statsJSON = flag.String("stats-json", "", "write the run report plus a metrics-registry snapshot as JSON to this file")
 	)
 	flag.Parse()
 
@@ -49,13 +57,18 @@ func main() {
 		runAll(g, name, *eps, *mu, *workers)
 		return
 	}
-	res, err := ppscan.Run(g, ppscan.Options{
-		Algorithm: ppscan.Algorithm(*algo),
-		Epsilon:   *eps,
-		Mu:        *mu,
-		Workers:   *workers,
-		Kernel:    *kernel,
-	})
+	var res *ppscan.Result
+	if *tracePath != "" {
+		res, err = runTraced(g, *algo, *eps, *mu, *workers, *kernel, *tracePath)
+	} else {
+		res, err = ppscan.Run(g, ppscan.Options{
+			Algorithm: ppscan.Algorithm(*algo),
+			Epsilon:   *eps,
+			Mu:        *mu,
+			Workers:   *workers,
+			Kernel:    *kernel,
+		})
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -97,6 +110,71 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *statsJSON != "" {
+		if err := writeStatsJSON(*statsJSON, g, res); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runTraced runs ppSCAN through the internal engine with a span tracer
+// attached and writes the Chrome trace_event JSON to path. Only the two
+// ppSCAN variants are traceable — the other algorithms don't emit spans.
+func runTraced(g *graph.Graph, algo, eps string, mu, workers int, kernel, path string) (*ppscan.Result, error) {
+	if algo != "ppscan" && algo != "ppscan-no" {
+		return nil, fmt.Errorf("-trace requires -algo ppscan or ppscan-no (got %q)", algo)
+	}
+	if mu < 1 {
+		return nil, fmt.Errorf("mu = %d, want >= 1", mu)
+	}
+	th, err := simdef.NewThreshold(eps, int32(mu))
+	if err != nil {
+		return nil, err
+	}
+	kind := intersect.PivotBlock16
+	if algo == "ppscan-no" {
+		kind = intersect.MergeEarly
+	}
+	if kernel != "" {
+		if kind, err = intersect.ParseKind(kernel); err != nil {
+			return nil, err
+		}
+	}
+	tr := obsv.NewTracer()
+	res := core.Run(g, th, core.Options{Kernel: kind, Workers: workers, Tracer: tr})
+	if algo == "ppscan-no" {
+		res.Stats.Algorithm = "ppSCAN-NO"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return res, f.Close()
+}
+
+// writeStatsJSON dumps the run report together with the process-global
+// metrics registry (phase, kernel and scheduler telemetry accumulated by
+// the run) as one JSON document.
+func writeStatsJSON(path string, g *graph.Graph, res *ppscan.Result) error {
+	out := map[string]any{
+		"report":  result.NewRunReport(g, res),
+		"metrics": obsv.Default().Snapshot(),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runAll executes every algorithm on the same input, prints a comparison

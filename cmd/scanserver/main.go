@@ -7,7 +7,8 @@
 //	scanserver -graph web.bin -index -addr :8080
 //
 // Endpoints: /healthz, /cluster?eps=&mu=[&algo=&members=true],
-// /vertex?v=&eps=&mu=, /quality?eps=&mu=.
+// /vertex?v=&eps=&mu=, /quality?eps=&mu=, /metrics. With -pprof, the Go
+// profiling endpoints are additionally served under /debug/pprof/.
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -33,6 +35,9 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker goroutines per query (0 = GOMAXPROCS)")
 		useIndex  = flag.Bool("index", false, "build a GS*-Index at startup and serve queries from it")
 		indexFile = flag.String("indexfile", "", "with -index: load the index from this file if it exists, otherwise build and save it there")
+		cacheSize = flag.Int("cache", server.DefaultCacheSize, "response-cache capacity (distinct parameter combinations kept resident)")
+		pprofOn   = flag.Bool("pprof", false, "expose the Go profiling endpoints under /debug/pprof/")
+		logReqs   = flag.Bool("log-requests", false, "log one structured line per HTTP request")
 	)
 	flag.Parse()
 
@@ -51,7 +56,10 @@ func main() {
 	}
 	log.Printf("serving %s", graph.ComputeStats("graph", g))
 
-	srv := server.New(g, *workers)
+	srv := server.New(g, *workers).WithCacheSize(*cacheSize)
+	if *logReqs {
+		srv = srv.WithLogging(log.Default())
+	}
 	if *useIndex {
 		ix, err := obtainIndex(g, *workers, *indexFile)
 		if err != nil {
@@ -59,8 +67,20 @@ func main() {
 		}
 		srv = srv.WithIndex(ix)
 	}
+	handler := srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
 	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	log.Fatal(http.ListenAndServe(*addr, handler))
 }
 
 // obtainIndex loads a cached index file when present, otherwise builds the

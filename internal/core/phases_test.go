@@ -24,13 +24,13 @@ func newState(t *testing.T, g *graph.Graph, eps string, mu int32, workers int) *
 	}
 	opt := Options{Kernel: intersect.PivotBlock16, Workers: workers}.normalized()
 	return &state{
-		g:        g,
-		th:       th,
-		opt:      opt,
-		roles:    make([]result.Role, g.NumVertices()),
-		sim:      make([]int32, g.NumDirectedEdges()),
-		uf:       unionfind.NewConcurrent(g.NumVertices()),
-		workerCt: make([]paddedCounter, opt.Workers),
+		g:       g,
+		th:      th,
+		opt:     opt,
+		roles:   make([]result.Role, g.NumVertices()),
+		sim:     make([]int32, g.NumDirectedEdges()),
+		uf:      unionfind.NewConcurrent(g.NumVertices()),
+		workers: make([]workerState, opt.Workers),
 	}
 }
 
@@ -118,9 +118,9 @@ func TestTheorem41WithinPhases(t *testing.T) {
 	// checking every sim value is consistent with its reverse.
 	g := gen.CliqueChain(3, 6)
 	s := newState(t, g, "0.7", 3, 4)
-	s.forEach(func(int32) bool { return true }, s.pruneSim)
-	s.forEach(s.roleUnknown, s.checkCore)
-	s.forEach(s.roleUnknown, s.consolidateCore)
+	s.forEach("P1 prune-sim", func(int32) bool { return true }, s.pruneSim)
+	s.forEach("P2 check-core", s.roleUnknown, s.checkCore)
+	s.forEach("P3 consolidate-core", s.roleUnknown, s.consolidateCore)
 	for u := int32(0); u < g.NumVertices(); u++ {
 		uOff := g.Off[u]
 		for i, v := range g.Neighbors(u) {

@@ -25,6 +25,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,7 @@ import (
 
 	"ppscan/graph"
 	"ppscan/internal/intersect"
+	"ppscan/internal/obsv"
 	"ppscan/internal/result"
 	"ppscan/internal/sched"
 	"ppscan/internal/simdef"
@@ -58,6 +60,15 @@ type Options struct {
 	// NonCoreBatch is the pipelined non-core clustering batch size; < 1
 	// defaults to 1024 pairs per flush.
 	NonCoreBatch int
+	// Registry receives the run's metrics (phase times, CompSim counts,
+	// kernel and scheduler telemetry). nil means obsv.Default(); pass
+	// obsv.NewNop() to turn collection off entirely — the hot paths then
+	// take no instrumented branches beyond per-worker call counting.
+	Registry *obsv.Registry
+	// Tracer, when non-nil, records the run as spans: phases P1–P7 on
+	// track 0 (the coordinator) and one span per scheduler task on tracks
+	// 1..Workers. Export with Tracer.WriteJSON for chrome://tracing.
+	Tracer *obsv.Tracer
 }
 
 // DefaultOptions returns the paper-faithful configuration: 16-lane pivot
@@ -76,6 +87,9 @@ func (o Options) normalized() Options {
 	if o.NonCoreBatch < 1 {
 		o.NonCoreBatch = 1024
 	}
+	if o.Registry == nil {
+		o.Registry = obsv.Default()
+	}
 	return o
 }
 
@@ -85,39 +99,60 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 	start := time.Now()
 	n := g.NumVertices()
 	s := &state{
-		g:        g,
-		th:       th,
-		opt:      opt,
-		roles:    make([]result.Role, n),
-		sim:      make([]int32, g.NumDirectedEdges()),
-		uf:       unionfind.NewConcurrent(n),
-		workerCt: make([]paddedCounter, opt.Workers),
+		g:       g,
+		th:      th,
+		opt:     opt,
+		roles:   make([]result.Role, n),
+		sim:     make([]int32, g.NumDirectedEdges()),
+		uf:      unionfind.NewConcurrent(n),
+		workers: make([]workerState, opt.Workers),
+		reg:     opt.Registry,
+		tr:      opt.Tracer,
+	}
+	// Kernel telemetry rides on the same per-worker blocks as the CompSim
+	// counters; a nop registry keeps kernels on the uninstrumented path.
+	s.kernelOn = s.reg.Enabled()
+	if s.reg.Enabled() || s.tr != nil {
+		s.sm = &schedInstruments{
+			tasks:  s.reg.Counter(obsv.MetricSchedTasks),
+			degSum: s.reg.Histogram(obsv.MetricSchedTaskDegreeSum),
+			verts:  s.reg.Histogram(obsv.MetricSchedTaskVertices),
+			wait:   s.reg.Histogram(obsv.MetricSchedQueueWaitNs),
+			busy:   s.reg.Sharded(obsv.MetricSchedWorkerBusyNs, opt.Workers),
+		}
+	}
+	if s.tr != nil {
+		s.tr.SetProcessName("ppscan")
+		s.tr.SetThreadName(0, "coordinator")
+		for w := 0; w < opt.Workers; w++ {
+			s.tr.SetThreadName(w+1, fmt.Sprintf("worker-%d", w))
+		}
 	}
 
 	var phaseTimes [result.NumPhases]time.Duration
 
 	// --- Step 1: role computing (Algorithm 3) ---------------------------
 	t0 := time.Now()
-	s.forEach(func(int32) bool { return true }, s.pruneSim)
+	s.forEach("P1 prune-sim", func(int32) bool { return true }, s.pruneSim)
 	phaseTimes[result.PhasePruning] = time.Since(t0)
 
 	t0 = time.Now()
 	s.phase = result.PhaseCheckCore
-	s.forEach(s.roleUnknown, s.checkCore)
-	s.forEach(s.roleUnknown, s.consolidateCore)
+	s.forEach("P2 check-core", s.roleUnknown, s.checkCore)
+	s.forEach("P3 consolidate-core", s.roleUnknown, s.consolidateCore)
 	phaseTimes[result.PhaseCheckCore] = time.Since(t0)
 
 	// --- Step 2: core and non-core clustering (Algorithm 4) -------------
 	t0 = time.Now()
 	s.phase = result.PhaseClusterCore
-	s.forEach(s.isCore, s.clusterCoreWithoutCompSim)
-	s.forEach(s.isCore, s.clusterCoreWithCompSim)
+	s.forEach("P4 cluster-core", s.isCore, s.clusterCoreWithoutCompSim)
+	s.forEach("P5 cluster-core-compsim", s.isCore, s.clusterCoreWithCompSim)
 	// P6: cluster-id initialization with CAS (Algorithm 4, InitClusterId).
 	s.clusterID = make([]int32, n)
 	for i := range s.clusterID {
 		s.clusterID[i] = -1
 	}
-	s.forEach(s.isCore, s.initClusterID)
+	s.forEach("P6 init-cluster-id", s.isCore, s.initClusterID)
 	phaseTimes[result.PhaseClusterCore] = time.Since(t0)
 
 	// Materialize per-core cluster ids (read-only from here on).
@@ -144,30 +179,77 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 		NonCore:       nonCore,
 	}
 	res.Normalize()
+	// Fold the per-worker instrumentation blocks into one aggregate; both
+	// result.Stats and the registry are read-outs of this single source.
 	var calls int64
 	var byPhase [result.NumPhases]int64
-	for i := range s.workerCt {
-		for p, n := range s.workerCt[i].n {
+	var kern intersect.Stats
+	for i := range s.workers {
+		w := &s.workers[i]
+		for p, n := range w.compSim {
 			calls += n
 			byPhase[p] += n
 		}
+		kern.Merge(&w.kern)
 	}
+	total := time.Since(start)
+	publishRun(s.reg, phaseTimes, calls, byPhase, &kern)
 	res.Stats = result.Stats{
 		Algorithm:      "ppSCAN",
 		Workers:        opt.Workers,
 		CompSimCalls:   calls,
 		CompSimByPhase: byPhase,
+		Kernel:         kern,
 		PhaseTimes:     phaseTimes,
-		Total:          time.Since(start),
+		Total:          total,
 	}
 	return res
 }
 
-// paddedCounter avoids false sharing between per-worker counters; calls
-// are attributed to the stage active when they happen.
-type paddedCounter struct {
-	n [result.NumPhases]int64
-	_ [4]int64
+// publishRun folds one run's aggregates into the registry under the
+// canonical obsv.Metric* names. Counters accumulate across runs; per-run
+// values live in result.Stats.
+func publishRun(reg *obsv.Registry, phaseTimes [result.NumPhases]time.Duration,
+	calls int64, byPhase [result.NumPhases]int64, kern *intersect.Stats) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.Counter(obsv.MetricCoreRuns).Inc()
+	for p := result.PhaseID(0); p < result.NumPhases; p++ {
+		reg.Counter(obsv.MetricPhaseNsPrefix + result.PhaseNames[p]).Add(phaseTimes[p].Nanoseconds())
+		reg.Counter(obsv.MetricCompSimPrefix + result.PhaseNames[p]).Add(byPhase[p])
+	}
+	reg.Counter(obsv.MetricCompSimCalls).Add(calls)
+	reg.Counter(obsv.MetricKernelCalls).Add(kern.Calls)
+	reg.Counter(obsv.MetricKernelSim).Add(kern.Sim)
+	reg.Counter(obsv.MetricKernelNSim).Add(kern.NSim)
+	reg.Counter(obsv.MetricKernelPrunedSim).Add(kern.PrunedSim)
+	reg.Counter(obsv.MetricKernelPrunedNSim).Add(kern.PrunedNSim)
+	reg.Counter(obsv.MetricKernelEarlyDu).Add(kern.EarlyDu)
+	reg.Counter(obsv.MetricKernelEarlyDv).Add(kern.EarlyDv)
+	reg.Counter(obsv.MetricKernelVectorBlocks).Add(kern.VectorBlocks)
+	reg.Counter(obsv.MetricKernelScalarSteps).Add(kern.ScalarSteps)
+	reg.Counter(obsv.MetricKernelScanned).Add(kern.Scanned)
+}
+
+// workerState is one worker's private instrumentation block, sized and
+// padded to whole cache lines so concurrent updates never share a line.
+// CompSim calls are attributed to the stage active when they happen; kern
+// is folded into the run aggregate after the last barrier.
+type workerState struct {
+	compSim [result.NumPhases]int64
+	kern    intersect.Stats
+	_       [2]int64
+}
+
+// schedInstruments caches the registry lookups for scheduler telemetry so
+// forEach builds a sched.Metrics without re-locking the registry per phase.
+type schedInstruments struct {
+	tasks  *obsv.Counter
+	degSum *obsv.Histogram
+	verts  *obsv.Histogram
+	wait   *obsv.Histogram
+	busy   *obsv.ShardedCounter
 }
 
 type state struct {
@@ -179,7 +261,11 @@ type state struct {
 	uf            *unionfind.Concurrent
 	clusterID     []int32 // per union-find root, CAS'd in P6
 	coreClusterID []int32 // per vertex, read-only after P6
-	workerCt      []paddedCounter
+	workers       []workerState
+	reg           *obsv.Registry
+	tr            *obsv.Tracer
+	sm            *schedInstruments // nil when neither registry nor tracer observe
+	kernelOn      bool
 	// phase is the stage currently attributed for CompSim counting; set by
 	// the coordinating goroutine between phases (before workers spawn, so
 	// the happens-before edge is the task submission).
@@ -196,9 +282,13 @@ func (s *state) storeSim(e int64, v simdef.EdgeSim) {
 
 // forEach runs one parallel phase over all vertices satisfying need, using
 // Algorithm 5's degree-based dynamic scheduling (or static blocks for the
-// ablation).
-func (s *state) forEach(need func(int32) bool, process func(u int32, worker int)) {
+// ablation). name labels the phase in the trace: the whole barrier-to-
+// barrier interval becomes a span on the coordinator track, and each
+// scheduler task a span named after the phase on its worker's track.
+func (s *state) forEach(name string, need func(int32) bool, process func(u int32, worker int)) {
 	n := s.g.NumVertices()
+	sp := s.tr.Begin(name, 0)
+	defer sp.End()
 	if s.opt.StaticScheduling {
 		sched.ForEachVertexStatic(s.opt.Workers, n, func(u int32, w int) {
 			if need(u) {
@@ -207,21 +297,42 @@ func (s *state) forEach(need func(int32) bool, process func(u int32, worker int)
 		})
 		return
 	}
+	var m *sched.Metrics
+	if s.sm != nil {
+		m = &sched.Metrics{
+			TasksSubmitted: s.sm.tasks,
+			TaskDegreeSum:  s.sm.degSum,
+			TaskVertices:   s.sm.verts,
+			QueueWaitNs:    s.sm.wait,
+			WorkerBusyNs:   s.sm.busy,
+			Tracer:         s.tr,
+			SpanName:       name,
+			TIDOffset:      1,
+		}
+	}
 	sched.ForEachVertex(sched.Options{
 		Workers:         s.opt.Workers,
 		DegreeThreshold: s.opt.DegreeThreshold,
+		Metrics:         m,
 	}, n, need, s.g.Degree, process)
 }
 
 func (s *state) roleUnknown(u int32) bool { return s.roles[u] == result.RoleUnknown }
 func (s *state) isCore(u int32) bool      { return s.roles[u] == result.RoleCore }
 
-// compSim evaluates one structural similarity with the configured kernel.
+// compSim evaluates one structural similarity with the configured kernel,
+// attributing the call (and, when observability is on, the kernel-level
+// telemetry) to this worker's private block.
 func (s *state) compSim(u, v int32, worker int) simdef.EdgeSim {
 	g := s.g
 	c := s.th.Eps.MinCN(g.Degree(u), g.Degree(v))
-	s.workerCt[worker].n[s.phase]++
-	return intersect.CompSim(s.opt.Kernel, g.Neighbors(u), g.Neighbors(v), c)
+	w := &s.workers[worker]
+	w.compSim[s.phase]++
+	var st *intersect.Stats
+	if s.kernelOn {
+		st = &w.kern
+	}
+	return intersect.CompSimStats(s.opt.Kernel, g.Neighbors(u), g.Neighbors(v), c, st)
 }
 
 // pruneSim is Algorithm 3's PruneSim(u): label edges by the similarity
@@ -418,7 +529,7 @@ func (s *state) clusterNonCorePipelined() []result.Membership {
 			local[w] = nil
 		}
 	}
-	s.forEach(s.isCore, func(u int32, w int) {
+	s.forEach("P7 cluster-non-core", s.isCore, func(u int32, w int) {
 		id := s.coreClusterID[u]
 		uOff := g.Off[u]
 		for i, v := range g.Neighbors(u) {

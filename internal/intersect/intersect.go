@@ -117,33 +117,69 @@ func Count(a, b []int32) int32 {
 // vertices with sorted neighbor lists a, b and exact threshold minCN.
 // It never returns simdef.Unknown.
 func CompSim(kind Kind, a, b []int32, minCN int32) simdef.EdgeSim {
+	return CompSimStats(kind, a, b, minCN, nil)
+}
+
+// CompSimStats is CompSim with kernel telemetry recorded into st (nil
+// disables recording at the cost of one predictable branch per return
+// site — see the obsv-overhead benchmark). st must be owned by the
+// calling goroutine; it is updated without atomics.
+func CompSimStats(kind Kind, a, b []int32, minCN int32, st *Stats) simdef.EdgeSim {
 	c := minCN
+	if st != nil {
+		st.Calls++
+	}
 	// Initial-bound checks (similarity predicate pruning, §3.2.2): these
 	// are shared by every kernel because they need no intersection work.
 	if c <= 2 {
+		if st != nil {
+			st.PrunedSim++
+			st.Sim++
+		}
 		return simdef.Sim
 	}
 	if int32(len(a))+2 < c || int32(len(b))+2 < c {
+		if st != nil {
+			st.PrunedNSim++
+			st.NSim++
+		}
 		return simdef.NSim
 	}
+	var r simdef.EdgeSim
 	switch kind {
 	case Merge:
-		return simFromCount(Count(a, b)+2, c)
+		r = simFromCount(Count(a, b)+2, c)
+		st.noteScalar(len(a) + len(b))
 	case Gallop:
-		return simFromCount(gallopCount(a, b)+2, c)
+		r = simFromCount(gallopCount(a, b)+2, c)
+		// Galloping's probe count is data-dependent; attribute the smaller
+		// side as the scan proxy (each of its elements is searched once).
+		if len(a) < len(b) {
+			st.noteScalar(len(a))
+		} else {
+			st.noteScalar(len(b))
+		}
 	case MergeEarly:
-		return mergeEarly(a, b, c)
+		r = mergeEarly(a, b, c, st)
 	case PivotScalar:
-		return pivotScalar(a, b, c)
+		r = pivotScalar(a, b, c, st)
 	case PivotBlock8:
-		return pivotBlock8(a, b, c)
+		r = pivotBlock8(a, b, c, st)
 	case PivotBlock16:
-		return pivotBlock16(a, b, c)
+		r = pivotBlock16(a, b, c, st)
 	case PivotFused:
-		return pivotFused(a, b, c)
+		r = pivotFused(a, b, c, st)
 	default:
 		panic(fmt.Sprintf("intersect: unknown kernel %v", kind))
 	}
+	if st != nil {
+		if r == simdef.Sim {
+			st.Sim++
+		} else {
+			st.NSim++
+		}
+	}
+	return r
 }
 
 func simFromCount(cn, c int32) simdef.EdgeSim {
@@ -154,7 +190,7 @@ func simFromCount(cn, c int32) simdef.EdgeSim {
 }
 
 // mergeEarly is pSCAN's merge with the three early-termination conditions.
-func mergeEarly(a, b []int32, c int32) simdef.EdgeSim {
+func mergeEarly(a, b []int32, c int32, st *Stats) simdef.EdgeSim {
 	du := int32(len(a)) + 2
 	dv := int32(len(b)) + 2
 	cn := int32(2)
@@ -165,23 +201,29 @@ func mergeEarly(a, b []int32, c int32) simdef.EdgeSim {
 			i++
 			du--
 			if du < c {
+				st.noteScalar(i + j)
+				st.noteEarlyDu()
 				return simdef.NSim
 			}
 		case a[i] > b[j]:
 			j++
 			dv--
 			if dv < c {
+				st.noteScalar(i + j)
+				st.noteEarlyDv()
 				return simdef.NSim
 			}
 		default:
 			cn++
 			if cn >= c {
+				st.noteScalar(i + j)
 				return simdef.Sim
 			}
 			i++
 			j++
 		}
 	}
+	st.noteScalar(i + j)
 	return simdef.NSim
 }
 
@@ -221,15 +263,17 @@ func gallopCount(a, b []int32) int32 {
 // pivotScalar is the non-vectorized pivot kernel: the same control flow as
 // Algorithm 6 with a block width of 1. It is also the tail fallback of the
 // block kernels ("Fall back to the non-vectorized logic", Alg. 6 line 23).
-func pivotScalar(a, b []int32, c int32) simdef.EdgeSim {
+func pivotScalar(a, b []int32, c int32, st *Stats) simdef.EdgeSim {
 	du := int32(len(a)) + 2
 	dv := int32(len(b)) + 2
-	return pivotScalarFrom(a, b, 0, 0, du, dv, 2, c)
+	return pivotScalarFrom(a, b, 0, 0, du, dv, 2, c, st)
 }
 
 // pivotScalarFrom continues a pivot intersection from cursors (i, j) with
-// running bounds (du, dv, cn).
-func pivotScalarFrom(a, b []int32, i, j int, du, dv, cn, c int32) simdef.EdgeSim {
+// running bounds (du, dv, cn). Telemetry covers only the advance performed
+// here (callers account for work done before the handoff).
+func pivotScalarFrom(a, b []int32, i, j int, du, dv, cn, c int32, st *Stats) simdef.EdgeSim {
+	i0, j0 := i, j
 	for i < len(a) && j < len(b) {
 		pivot := b[j]
 		// Step 1: advance i to the first a[i] >= pivot.
@@ -237,6 +281,8 @@ func pivotScalarFrom(a, b []int32, i, j int, du, dv, cn, c int32) simdef.EdgeSim
 			i++
 			du--
 			if du < c {
+				st.noteScalar(i - i0 + j - j0)
+				st.noteEarlyDu()
 				return simdef.NSim
 			}
 		}
@@ -249,6 +295,8 @@ func pivotScalarFrom(a, b []int32, i, j int, du, dv, cn, c int32) simdef.EdgeSim
 			j++
 			dv--
 			if dv < c {
+				st.noteScalar(i - i0 + j - j0)
+				st.noteEarlyDv()
 				return simdef.NSim
 			}
 		}
@@ -259,49 +307,55 @@ func pivotScalarFrom(a, b []int32, i, j int, du, dv, cn, c int32) simdef.EdgeSim
 		if a[i] == b[j] {
 			cn++
 			if cn >= c {
+				st.noteScalar(i - i0 + j - j0)
 				return simdef.Sim
 			}
 			i++
 			j++
 		}
 	}
+	st.noteScalar(i - i0 + j - j0)
 	return simdef.NSim
 }
 
-// advanceGE returns the first index >= from with arr[idx] >= pivot. The
-// advance is budgeted: if more than budget elements would be skipped, it
-// reports failure — equivalent to the per-block du/dv < c early
-// termination, since du0 - skipped < c iff skipped > du0 - c.
-func advanceGE(arr []int32, from int, pivot int32, budget int32) (int, bool) {
+// advanceGE returns the first index >= from with arr[idx] >= pivot, plus
+// the number of 16-lane block operations used. The advance is budgeted: if
+// more than budget elements would be skipped, it reports failure —
+// equivalent to the per-block du/dv < c early termination, since
+// du0 - skipped < c iff skipped > du0 - c.
+func advanceGE(arr []int32, from int, pivot int32, budget int32) (idx int, blocks int64, ok bool) {
 	i := from
 	for i+vec.Lanes16 <= len(arr) {
+		blocks++
 		bc := vec.CountLessAccel16((*[vec.Lanes16]int32)(arr[i:]), pivot)
 		i += int(bc)
 		if int32(i-from) > budget {
-			return 0, false
+			return i, blocks, false
 		}
 		if bc < vec.Lanes16 {
-			return i, true
+			return i, blocks, true
 		}
 	}
 	for i < len(arr) && arr[i] < pivot {
 		i++
 		if int32(i-from) > budget {
-			return 0, false
+			return i, blocks, false
 		}
 	}
-	return i, true
+	return i, blocks, true
 }
 
 // pivotFused is the fused-advance form of Algorithm 6.
-func pivotFused(a, b []int32, c int32) simdef.EdgeSim {
+func pivotFused(a, b []int32, c int32, st *Stats) simdef.EdgeSim {
 	du := int32(len(a)) + 2
 	dv := int32(len(b)) + 2
 	cn := int32(2)
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
-		ni, ok := advanceGE(a, i, b[j], du-c)
+		ni, blocks, ok := advanceGE(a, i, b[j], du-c)
+		st.noteVector(blocks, ni-i)
 		if !ok {
+			st.noteEarlyDu()
 			return simdef.NSim
 		}
 		du -= int32(ni - i)
@@ -309,8 +363,10 @@ func pivotFused(a, b []int32, c int32) simdef.EdgeSim {
 		if i >= len(a) {
 			break
 		}
-		nj, ok := advanceGE(b, j, a[i], dv-c)
+		nj, blocks, ok := advanceGE(b, j, a[i], dv-c)
+		st.noteVector(blocks, nj-j)
 		if !ok {
+			st.noteEarlyDv()
 			return simdef.NSim
 		}
 		dv -= int32(nj - j)
@@ -330,21 +386,28 @@ func pivotFused(a, b []int32, c int32) simdef.EdgeSim {
 	return simdef.NSim
 }
 
-// pivotBlock16 is Algorithm 6 with 16-lane software vectors.
-func pivotBlock16(a, b []int32, c int32) simdef.EdgeSim {
+// pivotBlock16 is Algorithm 6 with 16-lane software vectors. Block
+// operations are tallied in a local (register) counter unconditionally and
+// flushed to st only at the exit points, keeping instrumentation out of
+// the inner loops.
+func pivotBlock16(a, b []int32, c int32, st *Stats) simdef.EdgeSim {
 	du := int32(len(a)) + 2
 	dv := int32(len(b)) + 2
 	cn := int32(2)
 	i, j := 0, 0
+	var blocks int64
 	for {
 		// Step 1: find the next pivot offset i with a[i] >= b[j]. Each
 		// iteration is one emulated 512-bit compare+popcount over a sorted
 		// block (vec.RankLess16 — bit-identical to the mask popcount).
 		for i+vec.Lanes16 <= len(a) {
+			blocks++
 			bitCnt := vec.CountLessAccel16((*[vec.Lanes16]int32)(a[i:]), b[j])
 			i += int(bitCnt)
 			du -= bitCnt
 			if du < c {
+				st.noteVector(blocks, i+j)
+				st.noteEarlyDu()
 				return simdef.NSim
 			}
 			if bitCnt < vec.Lanes16 {
@@ -356,10 +419,13 @@ func pivotBlock16(a, b []int32, c int32) simdef.EdgeSim {
 		}
 		// Step 2: find the next pivot offset j with b[j] >= a[i].
 		for j+vec.Lanes16 <= len(b) {
+			blocks++
 			bitCnt := vec.CountLessAccel16((*[vec.Lanes16]int32)(b[j:]), a[i])
 			j += int(bitCnt)
 			dv -= bitCnt
 			if dv < c {
+				st.noteVector(blocks, i+j)
+				st.noteEarlyDv()
 				return simdef.NSim
 			}
 			if bitCnt < vec.Lanes16 {
@@ -373,6 +439,7 @@ func pivotBlock16(a, b []int32, c int32) simdef.EdgeSim {
 		if a[i] == b[j] {
 			cn++
 			if cn >= c {
+				st.noteVector(blocks, i+j)
 				return simdef.Sim
 			}
 			i++
@@ -380,21 +447,26 @@ func pivotBlock16(a, b []int32, c int32) simdef.EdgeSim {
 		}
 	}
 	// Tail: fewer than 16 elements remain on one side.
-	return pivotScalarFrom(a, b, i, j, du, dv, cn, c)
+	st.noteVector(blocks, i+j)
+	return pivotScalarFrom(a, b, i, j, du, dv, cn, c, st)
 }
 
 // pivotBlock8 is Algorithm 6 with 8-lane software vectors (AVX2 profile).
-func pivotBlock8(a, b []int32, c int32) simdef.EdgeSim {
+func pivotBlock8(a, b []int32, c int32, st *Stats) simdef.EdgeSim {
 	du := int32(len(a)) + 2
 	dv := int32(len(b)) + 2
 	cn := int32(2)
 	i, j := 0, 0
+	var blocks int64
 	for {
 		for i+vec.Lanes8 <= len(a) {
+			blocks++
 			bitCnt := vec.CountLessAccel8((*[vec.Lanes8]int32)(a[i:]), b[j])
 			i += int(bitCnt)
 			du -= bitCnt
 			if du < c {
+				st.noteVector(blocks, i+j)
+				st.noteEarlyDu()
 				return simdef.NSim
 			}
 			if bitCnt < vec.Lanes8 {
@@ -405,10 +477,13 @@ func pivotBlock8(a, b []int32, c int32) simdef.EdgeSim {
 			break
 		}
 		for j+vec.Lanes8 <= len(b) {
+			blocks++
 			bitCnt := vec.CountLessAccel8((*[vec.Lanes8]int32)(b[j:]), a[i])
 			j += int(bitCnt)
 			dv -= bitCnt
 			if dv < c {
+				st.noteVector(blocks, i+j)
+				st.noteEarlyDv()
 				return simdef.NSim
 			}
 			if bitCnt < vec.Lanes8 {
@@ -421,11 +496,13 @@ func pivotBlock8(a, b []int32, c int32) simdef.EdgeSim {
 		if a[i] == b[j] {
 			cn++
 			if cn >= c {
+				st.noteVector(blocks, i+j)
 				return simdef.Sim
 			}
 			i++
 			j++
 		}
 	}
-	return pivotScalarFrom(a, b, i, j, du, dv, cn, c)
+	st.noteVector(blocks, i+j)
+	return pivotScalarFrom(a, b, i, j, du, dv, cn, c, st)
 }

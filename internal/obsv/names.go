@@ -1,0 +1,57 @@
+package obsv
+
+// Canonical metric names, shared by the recorders (internal/core,
+// internal/sched via core, internal/server) and the readers (/metrics,
+// ppscan -stats-json, experiments -metrics) so the same key always means
+// the same quantity.
+//
+// Mapping to the paper's evaluation:
+//
+//   - MetricPhaseNsPrefix + <stage>   — Figure 6's per-stage wall time
+//   - MetricCompSimCalls[.<stage>]    — Figure 4's similarity-computation
+//     counts (and their stage decomposition)
+//   - the kernel.* counters           — Figure 5's vectorized-vs-scalar
+//     kernel work and Definition 3.9's early-termination effectiveness
+//   - the sched.* metrics             — §4.4's scheduling overhead claim
+const (
+	// MetricCoreRuns counts completed ppSCAN runs.
+	MetricCoreRuns = "core.runs"
+	// MetricPhaseNsPrefix + stage name accumulates per-stage wall time in
+	// nanoseconds (stages are result.PhaseNames).
+	MetricPhaseNsPrefix = "core.phase_ns."
+	// MetricCompSimCalls accumulates similarity computations; with the
+	// MetricCompSimPrefix it decomposes per stage.
+	MetricCompSimCalls  = "core.compsim_calls"
+	MetricCompSimPrefix = "core.compsim_calls."
+
+	// Kernel counters (summed over per-worker intersect.Stats).
+	MetricKernelCalls        = "kernel.calls"
+	MetricKernelSim          = "kernel.sim"
+	MetricKernelNSim         = "kernel.nsim"
+	MetricKernelPrunedSim    = "kernel.pruned_sim"
+	MetricKernelPrunedNSim   = "kernel.pruned_nsim"
+	MetricKernelEarlyDu      = "kernel.early_du"
+	MetricKernelEarlyDv      = "kernel.early_dv"
+	MetricKernelVectorBlocks = "kernel.vector_blocks"
+	MetricKernelScalarSteps  = "kernel.scalar_steps"
+	MetricKernelScanned      = "kernel.elements_scanned"
+
+	// Scheduler telemetry.
+	MetricSchedTasks         = "sched.tasks_submitted"
+	MetricSchedTaskDegreeSum = "sched.task_degree_sum"
+	MetricSchedTaskVertices  = "sched.task_vertices"
+	MetricSchedQueueWaitNs   = "sched.queue_wait_ns"
+	MetricSchedWorkerBusyNs  = "sched.worker_busy_ns"
+
+	// HTTP server metrics (per-endpoint names append "." + endpoint).
+	MetricHTTPRequestsPrefix = "http.requests."
+	MetricHTTPErrorsPrefix   = "http.errors."
+	MetricHTTPLatencyPrefix  = "http.latency_ns."
+	MetricHTTPInFlight       = "http.in_flight"
+
+	// Response-cache metrics.
+	MetricCacheHits      = "cache.hits"
+	MetricCacheMisses    = "cache.misses"
+	MetricCacheEvictions = "cache.evictions"
+	MetricCacheSize      = "cache.size"
+)

@@ -1,0 +1,196 @@
+// Span tracer with Chrome trace_event JSON export.
+//
+// A Tracer records named spans (phases, scheduler tasks, requests) on
+// numbered tracks ("tids"); WriteJSON emits the run as the Trace Event
+// Format understood by chrome://tracing and https://ui.perfetto.dev — one
+// complete ("ph":"X") event per span plus thread-name metadata, so a
+// ppSCAN run renders as a coordinator track with the seven phases and one
+// track per worker with its scheduler tasks.
+//
+// Begin is allocation-free and lock-free (the span start is captured on
+// the caller's stack); End appends the finished event under a mutex. Spans
+// are millisecond-scale (phases, tasks, HTTP requests), so the mutex is
+// never contended enough to matter, and a nil *Tracer makes both
+// operations no-ops.
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one Chrome trace_event record. Ph "X" is a complete event
+// (span), "i" an instant, "M" metadata (thread/process names). Timestamps
+// and durations are microseconds, as the format requires.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+	// Scope is required for instant events ("g" = global).
+	Scope string `json:"s,omitempty"`
+}
+
+// traceFile is the top-level JSON object Perfetto and chrome://tracing
+// both accept.
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Tracer records spans relative to its creation time. A nil *Tracer is a
+// no-op (zero allocation, zero time syscalls on Begin-without-End paths
+// are not possible — Begin itself is the only time capture).
+type Tracer struct {
+	start time.Time
+
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// NewTracer returns a tracer whose time origin is now.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now()}
+}
+
+// Span is an in-flight interval started by Begin. The zero Span (from a
+// nil tracer) is a no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	cat   string
+	tid   int
+	start time.Time
+}
+
+// Begin opens a span named name on track tid. Call End (or EndArgs) on the
+// returned Span to record it; an unclosed span records nothing.
+func (t *Tracer) Begin(name string, tid int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, tid: tid, start: time.Now()}
+}
+
+// BeginCat is Begin with a category label (Perfetto groups by category).
+func (t *Tracer) BeginCat(name, cat string, tid int) Span {
+	s := t.Begin(name, tid)
+	s.cat = cat
+	return s
+}
+
+// End records the span with no arguments.
+func (s Span) End() { s.EndArgs(nil) }
+
+// EndArgs records the span with the given args payload.
+func (s Span) EndArgs(args map[string]any) {
+	if s.t == nil {
+		return
+	}
+	end := time.Now()
+	s.t.append(TraceEvent{
+		Name: s.name,
+		Cat:  s.cat,
+		Ph:   "X",
+		TS:   micros(s.start.Sub(s.t.start)),
+		Dur:  micros(end.Sub(s.start)),
+		PID:  1,
+		TID:  s.tid,
+		Args: args,
+	})
+}
+
+// Instant records a zero-duration marker on track tid.
+func (t *Tracer) Instant(name string, tid int, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.append(TraceEvent{
+		Name:  name,
+		Ph:    "i",
+		TS:    micros(time.Since(t.start)),
+		PID:   1,
+		TID:   tid,
+		Args:  args,
+		Scope: "t",
+	})
+}
+
+// SetThreadName labels track tid in the trace viewer (e.g. "coordinator",
+// "worker-3"). Idempotent per tid in practice; duplicates are harmless.
+func (t *Tracer) SetThreadName(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.append(TraceEvent{
+		Name: "thread_name",
+		Ph:   "M",
+		PID:  1,
+		TID:  tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// SetProcessName labels the whole trace's process row.
+func (t *Tracer) SetProcessName(name string) {
+	if t == nil {
+		return
+	}
+	t.append(TraceEvent{
+		Name: "process_name",
+		Ph:   "M",
+		PID:  1,
+		Args: map[string]any{"name": name},
+	})
+}
+
+func (t *Tracer) append(e TraceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteJSON writes the trace as a Chrome trace_event JSON object.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	f := traceFile{TraceEvents: t.Events(), DisplayTimeUnit: "ms"}
+	if f.TraceEvents == nil {
+		f.TraceEvents = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// micros converts a duration to the trace format's microsecond unit,
+// keeping nanosecond precision as a fraction.
+func micros(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e3
+}

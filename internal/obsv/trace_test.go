@@ -1,0 +1,144 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerSpansAndSchema(t *testing.T) {
+	tr := NewTracer()
+	tr.SetProcessName("ppscan")
+	tr.SetThreadName(0, "coordinator")
+	tr.SetThreadName(1, "worker-0")
+
+	sp := tr.Begin("similarity-pruning", 0)
+	time.Sleep(time.Millisecond)
+	inner := tr.BeginCat("task", "sched", 1)
+	inner.EndArgs(map[string]any{"beg": 0, "end": 10, "deg": 42})
+	sp.End()
+	tr.Instant("barrier", 0, nil)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// The output must be a valid trace_event file: a traceEvents array of
+	// objects each carrying name/ph/pid/tid, with ts+dur on "X" events.
+	var f struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	var complete, meta, instant int
+	for _, e := range f.TraceEvents {
+		for _, field := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := e[field]; !ok {
+				t.Fatalf("event missing %q: %v", field, e)
+			}
+		}
+		switch e["ph"] {
+		case "X":
+			complete++
+			if _, ok := e["ts"]; !ok {
+				t.Errorf("complete event missing ts: %v", e)
+			}
+			if d, ok := e["dur"].(float64); !ok || d < 0 {
+				t.Errorf("complete event bad dur: %v", e)
+			}
+		case "M":
+			meta++
+			args := e["args"].(map[string]any)
+			if _, ok := args["name"]; !ok {
+				t.Errorf("metadata event missing args.name: %v", e)
+			}
+		case "i":
+			instant++
+			if e["s"] != "t" {
+				t.Errorf("instant event missing scope: %v", e)
+			}
+		}
+	}
+	if complete != 2 || meta != 3 || instant != 1 {
+		t.Fatalf("events: %d complete, %d meta, %d instant", complete, meta, instant)
+	}
+
+	// The outer phase span must contain the inner task span in time.
+	events := tr.Events()
+	var phase, task *TraceEvent
+	for i := range events {
+		switch events[i].Name {
+		case "similarity-pruning":
+			phase = &events[i]
+		case "task":
+			task = &events[i]
+		}
+	}
+	if phase == nil || task == nil {
+		t.Fatal("phase or task span missing")
+	}
+	if task.TS < phase.TS || task.TS+task.Dur > phase.TS+phase.Dur+1 {
+		t.Errorf("task [%f,+%f] not inside phase [%f,+%f]",
+			task.TS, task.Dur, phase.TS, phase.Dur)
+	}
+	if phase.Dur < 900 { // slept 1ms inside the span; dur is microseconds
+		t.Errorf("phase dur = %fus, want >= 900us", phase.Dur)
+	}
+	if task.Args["deg"].(int) != 42 {
+		t.Errorf("task args = %v", task.Args)
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer()
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tr.Begin("t", w).End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Len(); got != goroutines*perG {
+		t.Fatalf("events = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin("x", 0)
+	sp.End()
+	sp.EndArgs(map[string]any{"k": 1})
+	tr.Instant("x", 0, nil)
+	tr.SetThreadName(0, "x")
+	tr.SetProcessName("x")
+	if tr.Events() != nil || tr.Len() != 0 {
+		t.Fatal("nil tracer should record nothing")
+	}
+}
+
+func TestEmptyTracerWritesValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTracer().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f["traceEvents"].([]any); !ok {
+		t.Fatalf("traceEvents missing or not an array: %s", buf.String())
+	}
+}

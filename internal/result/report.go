@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"ppscan/graph"
+	"ppscan/internal/intersect"
 )
 
 // RunReport is a machine-readable summary of one clustering run, suitable
@@ -27,6 +28,9 @@ type RunReport struct {
 	PhaseNs        []int64 `json:"phaseNs,omitempty"`
 	CompSimCalls   int64   `json:"compSimCalls"`
 	CompSimByPhase []int64 `json:"compSimByPhase,omitempty"`
+	// Kernel carries the intersection-kernel telemetry when the run
+	// collected it (ppSCAN with observability enabled).
+	Kernel *intersect.Stats `json:"kernel,omitempty"`
 }
 
 // NewRunReport assembles the report for a completed run, including the
@@ -79,6 +83,10 @@ func NewRunReport(g *graph.Graph, r *Result) RunReport {
 		for i, n := range r.Stats.CompSimByPhase {
 			rep.CompSimByPhase[i] = n
 		}
+	}
+	if r.Stats.Kernel.Calls > 0 {
+		k := r.Stats.Kernel
+		rep.Kernel = &k
 	}
 	return rep
 }

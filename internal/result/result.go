@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"ppscan/graph"
+	"ppscan/internal/intersect"
 	"ppscan/internal/simdef"
 )
 
@@ -90,6 +91,12 @@ type Stats struct {
 	// by ppSCAN): almost all intersections happen in core checking; the
 	// clustering stages mop up the few edges pruning skipped.
 	CompSimByPhase [NumPhases]int64
+	// Kernel aggregates set-intersection telemetry across workers (only
+	// filled by ppSCAN when observability is enabled): call outcomes, the
+	// pruning-bound and early-termination decisions of Definition 3.9, and
+	// vectorized-vs-scalar work. It is a read-out of the same per-worker
+	// counters the run publishes to its obsv.Registry.
+	Kernel intersect.Stats
 	// PhaseTimes records wall time per ppSCAN stage (zero for algorithms
 	// without that stage).
 	PhaseTimes [NumPhases]time.Duration

@@ -18,6 +18,9 @@ package sched
 import (
 	"runtime"
 	"sync"
+	"time"
+
+	"ppscan/internal/obsv"
 )
 
 // DefaultDegreeThreshold is the task-granularity constant tuned in the
@@ -30,6 +33,50 @@ type Range struct {
 	Beg, End int32
 }
 
+// Metrics is the scheduler's telemetry sink. Every field is optional: a
+// nil instrument (or a nil *Metrics) disables that measurement, and the
+// pool then skips the associated clock reads entirely. The instruments
+// come from an obsv.Registry so the same numbers surface in /metrics and
+// the end-of-run registry snapshot.
+type Metrics struct {
+	// TasksSubmitted counts non-empty range tasks handed to the pool.
+	TasksSubmitted *obsv.Counter
+	// TaskDegreeSum observes each task's accumulated degree sum — the
+	// workload estimate Algorithm 5 balances on (its distribution shows
+	// whether the threshold produced even tasks).
+	TaskDegreeSum *obsv.Histogram
+	// TaskVertices observes each task's vertex-range width.
+	TaskVertices *obsv.Histogram
+	// QueueWaitNs observes submit-to-start latency per task (scheduling
+	// overhead, the paper's "negligible scheduling cost" claim).
+	QueueWaitNs *obsv.Histogram
+	// WorkerBusyNs accumulates per-worker time spent running tasks; shard
+	// = worker index.
+	WorkerBusyNs *obsv.ShardedCounter
+	// Tracer, when non-nil, records one span per executed task on the
+	// worker's track, named SpanName.
+	Tracer *obsv.Tracer
+	// SpanName labels task spans (typically the phase name); empty means
+	// "task".
+	SpanName string
+	// TIDOffset shifts worker track ids in the trace (so multiple phases
+	// or pools can share one tracer with the coordinator on track 0).
+	TIDOffset int
+}
+
+// timed reports whether any instrument needs per-task clock reads.
+func (m *Metrics) timed() bool {
+	return m != nil && (m.QueueWaitNs != nil || m.WorkerBusyNs != nil || m.Tracer != nil)
+}
+
+// spanName returns the task-span label.
+func (m *Metrics) spanName() string {
+	if m == nil || m.SpanName == "" {
+		return "task"
+	}
+	return m.SpanName
+}
+
 // Options configures a scheduling run.
 type Options struct {
 	// Workers is the number of worker goroutines; values < 1 default to
@@ -38,6 +85,8 @@ type Options struct {
 	// DegreeThreshold is the degree-sum task granularity; values < 1
 	// default to DefaultDegreeThreshold.
 	DegreeThreshold int64
+	// Metrics, when non-nil, receives scheduler telemetry.
+	Metrics *Metrics
 }
 
 func (o Options) normalized() Options {
@@ -68,7 +117,7 @@ func ForEachVertex(opt Options, n int32, need func(int32) bool, deg func(int32) 
 	if n <= 0 {
 		return
 	}
-	pool := NewPool(opt.Workers, func(r Range, worker int) {
+	pool := NewPoolObserved(opt.Workers, opt.Metrics, func(r Range, worker int) {
 		for u := r.Beg; u < r.End; u++ {
 			if need(u) {
 				process(u, worker)
@@ -83,12 +132,12 @@ func ForEachVertex(opt Options, n int32, need func(int32) bool, deg func(int32) 
 		}
 		degSum += int64(deg(u))
 		if degSum > opt.DegreeThreshold {
-			pool.Submit(Range{Beg: beg, End: u + 1})
+			pool.submit(Range{Beg: beg, End: u + 1}, degSum)
 			degSum = 0
 			beg = u + 1
 		}
 	}
-	pool.Submit(Range{Beg: beg, End: n})
+	pool.submit(Range{Beg: beg, End: n}, degSum)
 	pool.Join()
 }
 
@@ -128,27 +177,58 @@ func ForEachVertexStatic(workers int, n int32, process func(u int32, worker int)
 	wg.Wait()
 }
 
+// task is one queued unit of work: the vertex range, its degree-sum
+// workload estimate, and (when the pool is observed) the submit time used
+// to measure queue wait.
+type task struct {
+	r        Range
+	deg      int64
+	submitAt time.Time
+}
+
 // Pool is a fixed worker pool consuming Range tasks. It is created per
 // phase; Submit enqueues, Join closes the queue and waits for drain.
 type Pool struct {
-	tasks chan Range
+	tasks chan task
 	wg    sync.WaitGroup
+	m     *Metrics
 	// Submitted counts tasks submitted, for scheduler introspection tests.
 	submitted int
 }
 
 // NewPool starts workers goroutines running run on submitted ranges.
 func NewPool(workers int, run func(r Range, worker int)) *Pool {
+	return NewPoolObserved(workers, nil, run)
+}
+
+// NewPoolObserved is NewPool with telemetry: queue wait, per-worker busy
+// time and one trace span per task. With m == nil (or all-nil fields) the
+// workers take no clock reads and behave exactly like NewPool's.
+func NewPoolObserved(workers int, m *Metrics, run func(r Range, worker int)) *Pool {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{tasks: make(chan Range, 4*workers)}
+	p := &Pool{tasks: make(chan task, 4*workers), m: m}
+	timed := m.timed()
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(worker int) {
 			defer p.wg.Done()
-			for r := range p.tasks {
-				run(r, worker)
+			for t := range p.tasks {
+				if !timed {
+					run(t.r, worker)
+					continue
+				}
+				start := time.Now()
+				m.QueueWaitNs.Observe(start.Sub(t.submitAt).Nanoseconds())
+				sp := m.Tracer.Begin(m.spanName(), m.TIDOffset+worker)
+				run(t.r, worker)
+				if m.Tracer != nil {
+					sp.EndArgs(map[string]any{
+						"beg": t.r.Beg, "end": t.r.End, "deg": t.deg,
+					})
+				}
+				m.WorkerBusyNs.Add(worker, time.Since(start).Nanoseconds())
 			}
 		}(w)
 	}
@@ -157,11 +237,25 @@ func NewPool(workers int, run func(r Range, worker int)) *Pool {
 
 // Submit enqueues a task; empty ranges are dropped.
 func (p *Pool) Submit(r Range) {
+	p.submit(r, 0)
+}
+
+// submit enqueues a task with its degree-sum workload estimate.
+func (p *Pool) submit(r Range, deg int64) {
 	if r.Beg >= r.End {
 		return
 	}
 	p.submitted++
-	p.tasks <- r
+	t := task{r: r, deg: deg}
+	if m := p.m; m != nil {
+		m.TasksSubmitted.Inc()
+		m.TaskDegreeSum.Observe(deg)
+		m.TaskVertices.Observe(int64(r.End - r.Beg))
+		if m.timed() {
+			t.submitAt = time.Now()
+		}
+	}
+	p.tasks <- t
 }
 
 // Submitted returns the number of non-empty tasks submitted so far. Only

@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+
+	"ppscan/internal/obsv"
 )
 
 func TestForEachVertexVisitsAll(t *testing.T) {
@@ -218,5 +220,96 @@ func TestExactlyOnceQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestSchedulerMetrics wires a full Metrics set into ForEachVertex and
+// checks the recorded task count and degree-sum total against what the
+// master-loop splitting rule must produce.
+func TestSchedulerMetrics(t *testing.T) {
+	reg := obsv.New()
+	tr := obsv.NewTracer()
+	m := &Metrics{
+		TasksSubmitted: reg.Counter("sched.tasks_submitted"),
+		TaskDegreeSum:  reg.Histogram("sched.task_degree_sum"),
+		TaskVertices:   reg.Histogram("sched.task_vertices"),
+		QueueWaitNs:    reg.Histogram("sched.queue_wait_ns"),
+		WorkerBusyNs:   reg.Sharded("sched.worker_busy_ns", 3),
+		Tracer:         tr,
+		SpanName:       "core-checking",
+		TIDOffset:      1,
+	}
+	const n = int32(10000)
+	const deg = 16
+	const threshold = 1024
+	need := func(u int32) bool { return u%2 == 0 }
+	var processed int64
+	ForEachVertex(Options{Workers: 3, DegreeThreshold: threshold, Metrics: m}, n,
+		need, func(int32) int32 { return deg },
+		func(u int32, w int) { atomic.AddInt64(&processed, 1) })
+
+	// Expected tasks: a task closes after accumulating > threshold degree,
+	// i.e. every threshold/deg+1 needed vertices; plus the final tail task.
+	perTask := int64(threshold/deg + 1)
+	needed := int64(n / 2)
+	wantTasks := needed / perTask
+	if needed%perTask != 0 {
+		wantTasks++ // non-empty tail range
+	}
+	if got := m.TasksSubmitted.Value(); got != wantTasks {
+		t.Errorf("tasks submitted = %d, want %d", got, wantTasks)
+	}
+	if got := m.TaskDegreeSum.Count(); got != wantTasks {
+		t.Errorf("degree-sum observations = %d, want %d", got, wantTasks)
+	}
+	// Every needed vertex contributes its degree to exactly one task.
+	if got := m.TaskDegreeSum.Sum(); got != needed*deg {
+		t.Errorf("degree-sum total = %d, want %d", got, needed*deg)
+	}
+	// Task vertex ranges tile [0, n): widths must sum to n.
+	if got := m.TaskVertices.Sum(); got != int64(n) {
+		t.Errorf("task vertex widths sum = %d, want %d", got, n)
+	}
+	if got := m.QueueWaitNs.Count(); got != wantTasks {
+		t.Errorf("queue-wait observations = %d, want %d", got, wantTasks)
+	}
+	if m.WorkerBusyNs.Value() <= 0 {
+		t.Errorf("worker busy time not recorded")
+	}
+	// One trace span per executed task, named after the phase, on worker
+	// tracks shifted by TIDOffset.
+	spans := 0
+	for _, e := range tr.Events() {
+		if e.Ph != "X" {
+			continue
+		}
+		spans++
+		if e.Name != "core-checking" {
+			t.Errorf("span name = %q", e.Name)
+		}
+		if e.TID < 1 || e.TID > 3 {
+			t.Errorf("span tid = %d, want 1..3", e.TID)
+		}
+	}
+	if int64(spans) != wantTasks {
+		t.Errorf("trace spans = %d, want %d", spans, wantTasks)
+	}
+	if processed != needed {
+		t.Errorf("processed = %d, want %d", processed, needed)
+	}
+}
+
+// TestPoolWithoutMetricsUnchanged pins that an unobserved pool records
+// nothing and still drains correctly.
+func TestPoolWithoutMetricsUnchanged(t *testing.T) {
+	var count int64
+	pool := NewPoolObserved(2, nil, func(r Range, w int) {
+		atomic.AddInt64(&count, int64(r.End-r.Beg))
+	})
+	pool.Submit(Range{0, 10})
+	pool.Submit(Range{10, 30})
+	pool.Join()
+	if count != 30 {
+		t.Fatalf("processed %d, want 30", count)
 	}
 }

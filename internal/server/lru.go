@@ -1,0 +1,65 @@
+package server
+
+import (
+	"container/list"
+
+	"ppscan"
+)
+
+// lruCache bounds the response cache: clustering results are large (roles,
+// cluster ids and memberships for every vertex), so an unbounded
+// per-parameter cache grows without limit under parameter sweeps. Least
+// recently used entries are evicted once cap is exceeded. Not safe for
+// concurrent use — the Server guards it with its mutex.
+type lruCache struct {
+	cap       int
+	ll        *list.List // front = most recently used
+	items     map[cacheKey]*list.Element
+	evictions int64
+}
+
+type lruEntry struct {
+	key cacheKey
+	val *ppscan.Result
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: map[cacheKey]*list.Element{},
+	}
+}
+
+// get returns the cached result and marks it most recently used.
+func (c *lruCache) get(k cacheKey) (*ppscan.Result, bool) {
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts (or refreshes) an entry, evicting the least recently used
+// one when the cache is full.
+func (c *lruCache) add(k cacheKey, v *ppscan.Result) {
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = v
+		return
+	}
+	c.items[k] = c.ll.PushFront(&lruEntry{key: k, val: v})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+// len returns the number of cached entries.
+func (c *lruCache) len() int { return c.ll.Len() }

@@ -13,34 +13,50 @@
 //	GET /vertex?v=17&eps=0.6&mu=5   — role, cluster(s) and attachment of
 //	                                  one vertex
 //	GET /quality?eps=0.6&mu=5       — modularity/coverage and top clusters
+//	GET /metrics                    — expvar-style JSON: request counts and
+//	                                  latency quantiles per endpoint, cache
+//	                                  hits/misses/evictions, in-flight
+//	                                  queries, graph and runtime stats, and
+//	                                  the global algorithm metrics
 //
 // When the server is constructed with an index (WithIndex), /cluster and
 // /vertex are answered from the GS*-Index in O(answer) time; otherwise
 // each request runs the configured algorithm. Responses for identical
-// parameters are cached.
+// parameters are kept in an LRU cache bounded by DefaultCacheSize (see
+// WithCacheSize). WithLogging enables structured per-request log lines.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
 
 	"ppscan"
 	"ppscan/graph"
+	"ppscan/internal/obsv"
 	"ppscan/quality"
 )
+
+// DefaultCacheSize bounds the response cache (distinct (eps, mu, algo)
+// results kept resident) unless overridden with WithCacheSize.
+const DefaultCacheSize = 64
 
 // Server answers structural clustering queries over one immutable graph.
 type Server struct {
 	g       *graph.Graph
 	ix      *ppscan.Index
 	workers int
+	reg     *obsv.Registry // server-local: HTTP and cache metrics
+	logger  *log.Logger    // nil disables request logging
+	start   time.Time
 
 	mu    sync.Mutex
-	cache map[cacheKey]*ppscan.Result
+	cache *lruCache
 }
 
 type cacheKey struct {
@@ -51,7 +67,13 @@ type cacheKey struct {
 
 // New creates a server that runs the selected algorithm per request.
 func New(g *graph.Graph, workers int) *Server {
-	return &Server{g: g, workers: workers, cache: map[cacheKey]*ppscan.Result{}}
+	return &Server{
+		g:       g,
+		workers: workers,
+		reg:     obsv.New(),
+		start:   time.Now(),
+		cache:   newLRU(DefaultCacheSize),
+	}
 }
 
 // WithIndex attaches a prebuilt GS*-Index; index-served queries ignore the
@@ -61,14 +83,110 @@ func (s *Server) WithIndex(ix *ppscan.Index) *Server {
 	return s
 }
 
-// Handler returns the HTTP handler exposing all endpoints.
+// WithCacheSize bounds the response cache to n entries (minimum 1).
+func (s *Server) WithCacheSize(n int) *Server {
+	s.mu.Lock()
+	s.cache = newLRU(n)
+	s.mu.Unlock()
+	return s
+}
+
+// WithLogging enables structured request logging through l (nil means
+// log.Default()): one key=value line per request with method, path, query,
+// status, response bytes and latency.
+func (s *Server) WithLogging(l *log.Logger) *Server {
+	if l == nil {
+		l = log.Default()
+	}
+	s.logger = l
+	return s
+}
+
+// Handler returns the HTTP handler exposing all endpoints. Every endpoint
+// is wrapped in the instrumentation middleware feeding the server registry
+// (request/error counts, latency histograms, in-flight gauge) surfaced at
+// GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/cluster", s.handleCluster)
-	mux.HandleFunc("/vertex", s.handleVertex)
-	mux.HandleFunc("/quality", s.handleQuality)
+	mux.Handle("/healthz", s.instrument("healthz", s.handleHealth))
+	mux.Handle("/cluster", s.instrument("cluster", s.handleCluster))
+	mux.Handle("/vertex", s.instrument("vertex", s.handleVertex))
+	mux.Handle("/quality", s.instrument("quality", s.handleQuality))
+	mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
 	return mux
+}
+
+// statusRecorder captures the response status and size for metrics and
+// access logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+// instrument wraps an endpoint with metrics collection and optional
+// structured logging. Instruments are fetched once at wiring time; the
+// per-request cost is a few atomic operations.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
+	reqs := s.reg.Counter(obsv.MetricHTTPRequestsPrefix + name)
+	errs := s.reg.Counter(obsv.MetricHTTPErrorsPrefix + name)
+	lat := s.reg.Histogram(obsv.MetricHTTPLatencyPrefix + name)
+	inFlight := s.reg.Gauge(obsv.MetricHTTPInFlight)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		inFlight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		d := time.Since(t0)
+		inFlight.Add(-1)
+		reqs.Inc()
+		if rec.status >= 400 {
+			errs.Inc()
+		}
+		lat.Observe(d.Nanoseconds())
+		if s.logger != nil {
+			s.logger.Printf("method=%s path=%s query=%q status=%d bytes=%d durMs=%.3f",
+				r.Method, r.URL.Path, r.URL.RawQuery, rec.status, rec.bytes,
+				float64(d)/float64(time.Millisecond))
+		}
+	})
+}
+
+// handleMetrics serves the flat expvar-style metrics JSON: the server
+// registry (http.*, cache.*), the process-global algorithm registry
+// (core.*, kernel.*, sched.* — filled by every clustering run), plus
+// runtime, graph and uptime gauges. Histograms appear as
+// {count,sum,mean,p50,p90,p99,max} objects.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	out := s.reg.Snapshot()
+	for k, v := range obsv.Default().Snapshot() {
+		out[k] = v
+	}
+	s.mu.Lock()
+	out[obsv.MetricCacheSize] = s.cache.len()
+	out[obsv.MetricCacheEvictions] = s.cache.evictions
+	s.mu.Unlock()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	out["runtime.goroutines"] = runtime.NumGoroutine()
+	out["runtime.heap_alloc_bytes"] = ms.HeapAlloc
+	out["runtime.num_gc"] = ms.NumGC
+	out["graph.vertices"] = s.g.NumVertices()
+	out["graph.edges"] = s.g.NumEdges()
+	out["server.indexed"] = s.ix != nil
+	out["server.uptime_ns"] = time.Since(s.start).Nanoseconds()
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -113,11 +231,13 @@ func (s *Server) resolve(eps string, mu int, algo ppscan.Algorithm) (*ppscan.Res
 		key.algo = "index"
 	}
 	s.mu.Lock()
-	cached, ok := s.cache[key]
+	cached, ok := s.cache.get(key)
 	s.mu.Unlock()
 	if ok {
+		s.reg.Counter(obsv.MetricCacheHits).Inc()
 		return cached, nil
 	}
+	s.reg.Counter(obsv.MetricCacheMisses).Inc()
 	var res *ppscan.Result
 	var err error
 	if s.ix != nil {
@@ -134,7 +254,7 @@ func (s *Server) resolve(eps string, mu int, algo ppscan.Algorithm) (*ppscan.Res
 		return nil, err
 	}
 	s.mu.Lock()
-	s.cache[key] = res
+	s.cache.add(key, res)
 	s.mu.Unlock()
 	return res, nil
 }

@@ -205,7 +205,7 @@ func TestResponseCaching(t *testing.T) {
 	defer ts.Close()
 	get(t, ts, "/cluster?eps=0.5&mu=3", http.StatusOK)
 	srv.mu.Lock()
-	n := len(srv.cache)
+	n := srv.cache.len()
 	srv.mu.Unlock()
 	if n != 1 {
 		t.Fatalf("cache entries = %d", n)
@@ -214,7 +214,7 @@ func TestResponseCaching(t *testing.T) {
 	get(t, ts, "/cluster?eps=0.5&mu=3", http.StatusOK)
 	get(t, ts, "/vertex?v=0&eps=0.5&mu=3", http.StatusOK)
 	srv.mu.Lock()
-	n = len(srv.cache)
+	n = srv.cache.len()
 	srv.mu.Unlock()
 	if n != 1 {
 		t.Fatalf("cache entries after repeats = %d", n)
@@ -222,7 +222,7 @@ func TestResponseCaching(t *testing.T) {
 	// Different params -> new entry.
 	get(t, ts, "/cluster?eps=0.6&mu=3", http.StatusOK)
 	srv.mu.Lock()
-	n = len(srv.cache)
+	n = srv.cache.len()
 	srv.mu.Unlock()
 	if n != 2 {
 		t.Fatalf("cache entries after new params = %d", n)
