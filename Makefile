@@ -1,8 +1,18 @@
-# Convenience targets; the repo needs only the Go toolchain.
+# Convenience targets; the repo needs only the Go toolchain. The optional
+# linters (staticcheck, govulncheck) are installed on demand into
+# $(TOOLS_BIN) at pinned versions; when the network is unavailable and the
+# binary is not already present, their targets warn and skip instead of
+# failing so `make check` stays usable offline.
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-obsv
+TOOLS_BIN            := $(CURDIR)/.tools/bin
+STATICCHECK_VERSION  ?= 2025.1.1
+GOVULNCHECK_VERSION  ?= v1.1.4
+STATICCHECK          := $(TOOLS_BIN)/staticcheck
+GOVULNCHECK          := $(TOOLS_BIN)/govulncheck
+
+.PHONY: build test vet race check staticcheck govulncheck bench bench-obsv
 
 build:
 	$(GO) build ./...
@@ -16,11 +26,28 @@ vet:
 race:
 	$(GO) test -race ./...
 
+staticcheck:
+	@command -v $(STATICCHECK) >/dev/null 2>&1 || \
+		GOBIN=$(TOOLS_BIN) $(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) 2>/dev/null || true
+	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
+		$(STATICCHECK) ./... ; \
+	else \
+		echo "warning: staticcheck $(STATICCHECK_VERSION) unavailable (offline?); skipping" >&2 ; \
+	fi
+
+govulncheck:
+	@command -v $(GOVULNCHECK) >/dev/null 2>&1 || \
+		GOBIN=$(TOOLS_BIN) $(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) 2>/dev/null || true
+	@if command -v $(GOVULNCHECK) >/dev/null 2>&1; then \
+		$(GOVULNCHECK) ./... ; \
+	else \
+		echo "warning: govulncheck $(GOVULNCHECK_VERSION) unavailable (offline?); skipping" >&2 ; \
+	fi
+
 # The pre-merge gate: static checks plus the full suite under the race
 # detector (the parallel phases, scheduler telemetry and HTTP middleware
 # are all exercised concurrently).
-check:
-	$(GO) vet ./...
+check: vet staticcheck govulncheck
 	$(GO) test -race ./...
 
 bench:

@@ -9,15 +9,27 @@
 // Endpoints: /healthz, /cluster?eps=&mu=[&algo=&members=true],
 // /vertex?v=&eps=&mu=, /quality?eps=&mu=, /metrics. With -pprof, the Go
 // profiling endpoints are additionally served under /debug/pprof/.
+//
+// Admission control: -max-inflight bounds concurrent clustering
+// computations (excess requests degrade to the cache/index or get 429 +
+// Retry-After) and -request-timeout cancels computations that exceed the
+// deadline (503 + Retry-After). On SIGTERM/SIGINT the server drains:
+// /healthz flips to 503 so load balancers stop routing here, in-flight
+// requests finish (up to -shutdown-grace), then the process exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ppscan"
@@ -38,6 +50,10 @@ func main() {
 		cacheSize = flag.Int("cache", server.DefaultCacheSize, "response-cache capacity (distinct parameter combinations kept resident)")
 		pprofOn   = flag.Bool("pprof", false, "expose the Go profiling endpoints under /debug/pprof/")
 		logReqs   = flag.Bool("log-requests", false, "log one structured line per HTTP request")
+
+		maxInflight = flag.Int("max-inflight", 0, "max concurrent clustering computations (0 = unlimited); excess requests degrade to cache/index or get 429")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request computation deadline (0 = none); exceeded requests get 503")
+		grace       = flag.Duration("shutdown-grace", 15*time.Second, "max time to wait for in-flight requests on SIGTERM/SIGINT")
 	)
 	flag.Parse()
 
@@ -56,7 +72,9 @@ func main() {
 	}
 	log.Printf("serving %s", graph.ComputeStats("graph", g))
 
-	srv := server.New(g, *workers).WithCacheSize(*cacheSize)
+	srv := server.New(g, *workers).
+		WithCacheSize(*cacheSize).
+		WithAdmission(*maxInflight, *reqTimeout)
 	if *logReqs {
 		srv = srv.WithLogging(log.Default())
 	}
@@ -79,8 +97,41 @@ func main() {
 		handler = mux
 		log.Printf("pprof enabled at /debug/pprof/")
 	}
-	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, handler))
+	if *maxInflight > 0 || *reqTimeout > 0 {
+		log.Printf("admission control: max-inflight=%d request-timeout=%v", *maxInflight, *reqTimeout)
+	}
+
+	// Listen explicitly so the resolved address (e.g. with -addr :0 in
+	// tests) can be logged before serving.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal("scanserver: ", err)
+	}
+	log.Printf("listening on %s", ln.Addr())
+
+	httpSrv := &http.Server{Handler: handler}
+	// Drain on SIGTERM/SIGINT: flip /healthz to 503, stop accepting
+	// connections, and give in-flight requests -shutdown-grace to finish.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		log.Printf("shutdown signal received, draining (grace %v)", *grace)
+		srv.SetDraining(true)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v (forcing close)", err)
+			httpSrv.Close()
+		}
+	}()
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal("scanserver: ", err)
+	}
+	<-done
+	log.Printf("drained, exiting")
 }
 
 // obtainIndex loads a cached index file when present, otherwise builds the

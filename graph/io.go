@@ -121,7 +121,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: reading binary magic: %w", err)
 	}
 	if magic != binaryMagic {
-		return nil, fmt.Errorf("graph: bad magic %#x", magic)
+		return nil, fmt.Errorf("graph: bad magic %#x (want %#x: the PSG1 binary CSR format, v1 — written by WriteBinary / SaveFile with a .bin extension)", magic, uint32(binaryMagic))
 	}
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
 		return nil, fmt.Errorf("graph: reading vertex count: %w", err)
@@ -162,16 +162,24 @@ func LoadFile(path string) (*Graph, error) {
 	if strings.HasSuffix(base, ".gz") {
 		zr, err := gzip.NewReader(f)
 		if err != nil {
-			return nil, fmt.Errorf("graph: opening gzip stream: %w", err)
+			return nil, fmt.Errorf("graph: %s: opening gzip stream: %w", path, err)
 		}
 		defer zr.Close()
 		r = zr
 		base = strings.TrimSuffix(base, ".gz")
 	}
 	if strings.HasSuffix(base, ".bin") {
-		return ReadBinary(r)
+		g, err := ReadBinary(r)
+		if err != nil {
+			return nil, fmt.Errorf("graph: %s (binary CSR format): %w", path, err)
+		}
+		return g, nil
 	}
-	return ReadEdgeList(r, true)
+	g, err := ReadEdgeList(r, true)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %s (text edge-list format): %w", path, err)
+	}
+	return g, nil
 }
 
 // SaveFile writes a graph to path, choosing the format by extension as in

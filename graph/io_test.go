@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Loader errors must carry enough context to act on: the file path, the
+// detected format, and — for a bad binary magic — a hint naming the PSG1
+// format so a user who pointed -graph at the wrong file can tell why.
+
+func TestLoadFileErrorMentionsPathAndFormat(t *testing.T) {
+	dir := t.TempDir()
+
+	badText := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(badText, []byte("0 notanumber\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadFile(badText)
+	if err == nil {
+		t.Fatal("LoadFile accepted malformed edge list")
+	}
+	for _, want := range []string{badText, "edge-list"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("edge-list error %q does not mention %q", err, want)
+		}
+	}
+
+	badBin := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(badBin, []byte("this is not PSG1 binary data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadFile(badBin)
+	if err == nil {
+		t.Fatal("LoadFile accepted malformed binary file")
+	}
+	for _, want := range []string{badBin, "binary CSR", "PSG1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("binary error %q does not mention %q", err, want)
+		}
+	}
+
+	notGzip := filepath.Join(dir, "bad.txt.gz")
+	if err := os.WriteFile(notGzip, []byte("plain, not gzipped"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadFile(notGzip)
+	if err == nil {
+		t.Fatal("LoadFile accepted non-gzip .gz file")
+	}
+	if !strings.Contains(err.Error(), notGzip) || !strings.Contains(err.Error(), "gzip") {
+		t.Errorf("gzip error %q does not mention path and gzip", err)
+	}
+}
+
+func TestReadBinaryBadMagicHint(t *testing.T) {
+	_, err := ReadBinary(bytes.NewReader([]byte{0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 0}))
+	if err == nil {
+		t.Fatal("ReadBinary accepted bad magic")
+	}
+	for _, want := range []string{"bad magic", "PSG1", "0x50534731"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("bad-magic error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestLoadFileRoundTrip(t *testing.T) {
+	g, err := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	dir := t.TempDir()
+	for _, name := range []string{"g.txt", "g.bin", "g.txt.gz", "g.bin.gz"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, g); err != nil {
+			t.Fatalf("SaveFile(%s): %v", name, err)
+		}
+		got, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("LoadFile(%s): %v", name, err)
+		}
+		if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+			t.Errorf("%s: round trip changed size: got %d/%d want %d/%d",
+				name, got.NumVertices(), got.NumEdges(), g.NumVertices(), g.NumEdges())
+		}
+	}
+}

@@ -25,6 +25,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -95,12 +96,28 @@ func (o Options) normalized() Options {
 
 // Run executes ppSCAN on g with threshold th.
 func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
+	res, _ := RunContext(context.Background(), g, th, opt) // Background never cancels
+	return res
+}
+
+// RunContext executes ppSCAN on g with threshold th under ctx. The run
+// checks for cancellation at every phase barrier and — through the
+// degree-based scheduler — between task batches inside each phase, so a
+// cancelled run aborts within roughly one scheduler task of work per
+// worker. On cancellation it returns a *result.PartialError carrying the
+// statistics accumulated so far (unwrapping to ctx.Err()); the result is
+// then nil.
+func RunContext(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt Options) (*result.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt = opt.normalized()
 	start := time.Now()
 	n := g.NumVertices()
 	s := &state{
 		g:       g,
 		th:      th,
+		ctx:     ctx,
 		opt:     opt,
 		roles:   make([]result.Role, n),
 		sim:     make([]int32, g.NumDirectedEdges()),
@@ -108,6 +125,10 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 		workers: make([]workerState, opt.Workers),
 		reg:     opt.Registry,
 		tr:      opt.Tracer,
+	}
+	if ctx.Done() != nil {
+		release := context.AfterFunc(ctx, func() { s.stop.Store(true) })
+		defer release()
 	}
 	// Kernel telemetry rides on the same per-worker blocks as the CompSim
 	// counters; a nop registry keeps kernels on the uninstrumented path.
@@ -131,22 +152,60 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 
 	var phaseTimes [result.NumPhases]time.Duration
 
+	// abort folds the per-worker counters into a partial Stats and wraps
+	// them in a PartialError naming the phase that observed cancellation.
+	abort := func(phase string) (*result.Result, error) {
+		calls, byPhase, kern := s.fold()
+		s.reg.Counter(obsv.MetricCoreCancels).Inc()
+		return nil, &result.PartialError{
+			Stats: result.Stats{
+				Algorithm:      "ppSCAN",
+				Workers:        opt.Workers,
+				CompSimCalls:   calls,
+				CompSimByPhase: byPhase,
+				Kernel:         kern,
+				PhaseTimes:     phaseTimes,
+				Total:          time.Since(start),
+			},
+			Phase: phase,
+			Err:   context.Cause(ctx),
+		}
+	}
+
 	// --- Step 1: role computing (Algorithm 3) ---------------------------
 	t0 := time.Now()
 	s.forEach("P1 prune-sim", func(int32) bool { return true }, s.pruneSim)
 	phaseTimes[result.PhasePruning] = time.Since(t0)
+	if ctx.Err() != nil {
+		return abort("P1 prune-sim")
+	}
 
 	t0 = time.Now()
 	s.phase = result.PhaseCheckCore
 	s.forEach("P2 check-core", s.roleUnknown, s.checkCore)
+	if ctx.Err() != nil {
+		phaseTimes[result.PhaseCheckCore] = time.Since(t0)
+		return abort("P2 check-core")
+	}
 	s.forEach("P3 consolidate-core", s.roleUnknown, s.consolidateCore)
 	phaseTimes[result.PhaseCheckCore] = time.Since(t0)
+	if ctx.Err() != nil {
+		return abort("P3 consolidate-core")
+	}
 
 	// --- Step 2: core and non-core clustering (Algorithm 4) -------------
 	t0 = time.Now()
 	s.phase = result.PhaseClusterCore
 	s.forEach("P4 cluster-core", s.isCore, s.clusterCoreWithoutCompSim)
+	if ctx.Err() != nil {
+		phaseTimes[result.PhaseClusterCore] = time.Since(t0)
+		return abort("P4 cluster-core")
+	}
 	s.forEach("P5 cluster-core-compsim", s.isCore, s.clusterCoreWithCompSim)
+	if ctx.Err() != nil {
+		phaseTimes[result.PhaseClusterCore] = time.Since(t0)
+		return abort("P5 cluster-core-compsim")
+	}
 	// P6: cluster-id initialization with CAS (Algorithm 4, InitClusterId).
 	s.clusterID = make([]int32, n)
 	for i := range s.clusterID {
@@ -154,6 +213,9 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 	}
 	s.forEach("P6 init-cluster-id", s.isCore, s.initClusterID)
 	phaseTimes[result.PhaseClusterCore] = time.Since(t0)
+	if ctx.Err() != nil {
+		return abort("P6 init-cluster-id")
+	}
 
 	// Materialize per-core cluster ids (read-only from here on).
 	coreClusterID := make([]int32, n)
@@ -170,6 +232,9 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 	s.phase = result.PhaseClusterNonCore
 	nonCore := s.clusterNonCorePipelined()
 	phaseTimes[result.PhaseClusterNonCore] = time.Since(t0)
+	if ctx.Err() != nil {
+		return abort("P7 cluster-non-core")
+	}
 
 	res := &result.Result{
 		Eps:           th.Eps.String(),
@@ -181,17 +246,7 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 	res.Normalize()
 	// Fold the per-worker instrumentation blocks into one aggregate; both
 	// result.Stats and the registry are read-outs of this single source.
-	var calls int64
-	var byPhase [result.NumPhases]int64
-	var kern intersect.Stats
-	for i := range s.workers {
-		w := &s.workers[i]
-		for p, n := range w.compSim {
-			calls += n
-			byPhase[p] += n
-		}
-		kern.Merge(&w.kern)
-	}
+	calls, byPhase, kern := s.fold()
 	total := time.Since(start)
 	publishRun(s.reg, phaseTimes, calls, byPhase, &kern)
 	res.Stats = result.Stats{
@@ -203,7 +258,20 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 		PhaseTimes:     phaseTimes,
 		Total:          total,
 	}
-	return res
+	return res, nil
+}
+
+// fold sums the per-worker instrumentation blocks into one aggregate.
+func (s *state) fold() (calls int64, byPhase [result.NumPhases]int64, kern intersect.Stats) {
+	for i := range s.workers {
+		w := &s.workers[i]
+		for p, n := range w.compSim {
+			calls += n
+			byPhase[p] += n
+		}
+		kern.Merge(&w.kern)
+	}
+	return calls, byPhase, kern
 }
 
 // publishRun folds one run's aggregates into the registry under the
@@ -255,6 +323,8 @@ type schedInstruments struct {
 type state struct {
 	g             *graph.Graph
 	th            simdef.Threshold
+	ctx           context.Context
+	stop          atomic.Bool // set by context.AfterFunc on cancellation
 	opt           Options
 	roles         []result.Role
 	sim           []int32 // simdef.EdgeSim values, accessed atomically
@@ -290,8 +360,11 @@ func (s *state) forEach(name string, need func(int32) bool, process func(u int32
 	sp := s.tr.Begin(name, 0)
 	defer sp.End()
 	if s.opt.StaticScheduling {
+		// Static blocks have no task boundaries to checkpoint at; poll the
+		// cancellation flag per vertex instead so the phase still drains
+		// promptly (the flag is an uncontended atomic load).
 		sched.ForEachVertexStatic(s.opt.Workers, n, func(u int32, w int) {
-			if need(u) {
+			if !s.stop.Load() && need(u) {
 				process(u, w)
 			}
 		})
@@ -310,7 +383,7 @@ func (s *state) forEach(name string, need func(int32) bool, process func(u int32
 			TIDOffset:      1,
 		}
 	}
-	sched.ForEachVertex(sched.Options{
+	_ = sched.ForEachVertexCtx(s.ctx, sched.Options{
 		Workers:         s.opt.Workers,
 		DegreeThreshold: s.opt.DegreeThreshold,
 		Metrics:         m,

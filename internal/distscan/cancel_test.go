@@ -1,0 +1,80 @@
+package distscan
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"ppscan/internal/gen"
+	"ppscan/internal/result"
+	"ppscan/internal/simdef"
+)
+
+func TestRunContextCancelMidSuperstep(t *testing.T) {
+	g := gen.Roll(60_000, 32, 11)
+	th, err := simdef.NewThreshold("0.5", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(2*time.Millisecond, cancel)
+	defer timer.Stop()
+	defer cancel()
+	res, err := RunContext(ctx, g, th, Options{Partitions: 4})
+	if res != nil {
+		t.Fatalf("cancelled run returned a result: %+v", res.Stats)
+	}
+	var pe *result.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("cancelled run returned %T (%v), want *result.PartialError", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(%v, context.Canceled) = false", err)
+	}
+	if !strings.HasPrefix(pe.Phase, "S") {
+		t.Errorf("aborted superstep %q is not one of the S1–S5 checkpoints", pe.Phase)
+	}
+	if !strings.Contains(pe.Stats.Algorithm, "dist-scan") {
+		t.Errorf("partial stats algorithm = %q, want dist-scan", pe.Stats.Algorithm)
+	}
+	if pe.Stats.Workers != 4 {
+		t.Errorf("partial stats workers = %d, want 4", pe.Stats.Workers)
+	}
+	if pe.Stats.Total <= 0 {
+		t.Errorf("partial stats total = %v, want > 0", pe.Stats.Total)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	g := gen.Roll(60_000, 32, 12)
+	th, err := simdef.NewThreshold("0.6", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err = RunContext(ctx, g, th, Options{Partitions: 4})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("errors.Is(%v, context.DeadlineExceeded) = false", err)
+	}
+}
+
+// TestRunContextCompletesUncancelled guards that a Background context does
+// not perturb results.
+func TestRunContextCompletesUncancelled(t *testing.T) {
+	g := gen.Roll(2_000, 8, 13)
+	th, err := simdef.NewThreshold("0.5", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunContext(context.Background(), g, th, Options{Partitions: 4})
+	if err != nil {
+		t.Fatalf("RunContext(Background): %v", err)
+	}
+	want := Run(g, th, Options{Partitions: 4})
+	if err := result.Equal(want, res); err != nil {
+		t.Fatalf("RunContext result differs from Run: %v", err)
+	}
+}

@@ -24,8 +24,10 @@
 package distscan
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ppscan/graph"
@@ -45,6 +47,20 @@ type Options struct {
 
 // Run executes the distributed surrogate on g.
 func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
+	res, _ := RunContext(context.Background(), g, th, opt) // Background never cancels
+	return res
+}
+
+// RunContext executes the distributed surrogate under ctx. Cancellation is
+// checked at every superstep barrier and, inside each superstep, every
+// cancelCheckMask+1 vertices per partition worker, so a cancelled run
+// aborts mid-superstep rather than completing the bulk-synchronous round.
+// On cancellation it returns a *result.PartialError whose Stats carry the
+// communication bytes accumulated so far (unwrapping to ctx.Err()).
+func RunContext(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt Options) (*result.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opt.Partitions < 1 {
 		opt.Partitions = 4
 	}
@@ -56,6 +72,14 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 	}
 	if p < 1 {
 		p = 1
+	}
+
+	// stop mirrors ctx cancellation into an atomic the per-vertex loops can
+	// poll cheaply; abort builds the partial-stats error at a checkpoint.
+	var stop atomic.Bool
+	if ctx.Done() != nil {
+		release := context.AfterFunc(ctx, func() { stop.Store(true) })
+		defer release()
 	}
 
 	bounds := partition(g, p)
@@ -75,6 +99,20 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 		commBytes += b
 		commMu.Unlock()
 	}
+	// abort runs at superstep barriers (all partition workers joined), so
+	// commBytes is quiescent and safe to read without the mutex.
+	abort := func(superstep string) (*result.Result, error) {
+		return nil, &result.PartialError{
+			Stats: result.Stats{
+				Algorithm: fmt.Sprintf("dist-scan(p=%d)", p),
+				Workers:   p,
+				Total:     time.Since(start),
+				CommBytes: commBytes,
+			},
+			Phase: superstep,
+			Err:   context.Cause(ctx),
+		}
+	}
 
 	// Per-partition state.
 	sim := make([]simdef.EdgeSim, g.NumDirectedEdges()) // each worker writes only its own vertex range
@@ -88,6 +126,9 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 	parallelParts(p, func(w int) {
 		seen := map[int32]struct{}{}
 		for u := bounds[w]; u < bounds[w+1]; u++ {
+			if u&1023 == 0 && stop.Load() {
+				return
+			}
 			for _, v := range g.Neighbors(u) {
 				if v > u && owner(v) != w {
 					seen[v] = struct{}{}
@@ -100,10 +141,16 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 		}
 		wants[w] = lst
 	})
+	if ctx.Err() != nil {
+		return abort("S1 adjacency-exchange")
+	}
 	parallelParts(p, func(w int) {
 		cache := make(map[int32][]int32, len(wants[w]))
 		var bytes int64
-		for _, v := range wants[w] {
+		for i, v := range wants[w] {
+			if i&1023 == 0 && stop.Load() {
+				break
+			}
 			// Request (vertex id) + response (neighbor list copy).
 			nbrs := g.Neighbors(v)
 			cp := make([]int32, len(nbrs))
@@ -114,6 +161,9 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 		remoteAdj[w] = cache
 		addComm(bytes)
 	})
+	if ctx.Err() != nil {
+		return abort("S1 adjacency-exchange")
+	}
 
 	// S2: similarity computation under the owner(min-endpoint) rule, with
 	// cross-partition value messages.
@@ -125,6 +175,11 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 	parallelParts(p, func(w int) {
 		var out []simMsg
 		for u := bounds[w]; u < bounds[w+1]; u++ {
+			// The similarity superstep dominates the run; poll every vertex
+			// (one uncontended atomic load vs. degree-many intersections).
+			if stop.Load() {
+				break
+			}
 			uOff := g.Off[u]
 			nbrs := g.Neighbors(u)
 			for i, v := range nbrs {
@@ -150,6 +205,9 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 		outbox[w] = out
 		addComm(int64(len(out)) * 12) // (v, u, val) per message
 	})
+	if ctx.Err() != nil {
+		return abort("S2 similarity-computation")
+	}
 	// Deliver: each partition writes the messages targeting its range.
 	parallelParts(p, func(w int) {
 		for src := 0; src < p; src++ {
@@ -160,10 +218,16 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 			}
 		}
 	})
+	if ctx.Err() != nil {
+		return abort("S2 similarity-delivery")
+	}
 
 	// S3: roles, locally per partition.
 	parallelParts(p, func(w int) {
 		for u := bounds[w]; u < bounds[w+1]; u++ {
+			if u&1023 == 0 && stop.Load() {
+				return
+			}
 			var similar int32
 			for e := g.Off[u]; e < g.Off[u+1]; e++ {
 				if sim[e] == simdef.Sim {
@@ -178,11 +242,18 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 		}
 	})
 
+	if ctx.Err() != nil {
+		return abort("S3 role-computation")
+	}
+
 	// S4: role exchange — boundary roles cross partitions (one byte per
 	// boundary vertex requested, mirroring S1's want lists).
 	parallelParts(p, func(w int) {
 		addComm(int64(len(wants[w]))) // roles are read directly; count the bytes
 	})
+	if ctx.Err() != nil {
+		return abort("S4 role-exchange")
+	}
 
 	// S5: clustering. Similar core-core union edges stream to the
 	// coordinator (8 bytes per edge for remote partitions).
@@ -192,6 +263,9 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 		var local [][2]int32
 		var remote int64
 		for u := bounds[w]; u < bounds[w+1]; u++ {
+			if u&1023 == 0 && stop.Load() {
+				break
+			}
 			if roles[u] != result.RoleCore {
 				continue
 			}
@@ -208,6 +282,9 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 		unionEdges[w] = local
 		addComm(remote)
 	})
+	if ctx.Err() != nil {
+		return abort("S5 clustering")
+	}
 	for w := 0; w < p; w++ {
 		for _, e := range unionEdges[w] {
 			uf.Union(e[0], e[1])
@@ -238,6 +315,9 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 		var local []result.Membership
 		var remote int64
 		for u := bounds[w]; u < bounds[w+1]; u++ {
+			if u&1023 == 0 && stop.Load() {
+				break
+			}
 			if roles[u] != result.RoleCore {
 				continue
 			}
@@ -255,6 +335,9 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 		members[w] = local
 		addComm(remote)
 	})
+	if ctx.Err() != nil {
+		return abort("S5 membership-emission")
+	}
 
 	res := &result.Result{
 		Eps:           th.Eps.String(),
@@ -276,7 +359,7 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 		Total:        time.Since(start),
 		CommBytes:    commBytes,
 	}
-	return res
+	return res, nil
 }
 
 // partition returns p+1 boundaries splitting [0, n) into contiguous ranges

@@ -1,0 +1,61 @@
+package gsindex
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"ppscan/internal/gen"
+)
+
+func TestBuildContextCancelled(t *testing.T) {
+	g := gen.Roll(60_000, 32, 21)
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(2*time.Millisecond, cancel)
+	defer timer.Stop()
+	defer cancel()
+	ix, err := BuildContext(ctx, g, BuildOptions{Workers: 4})
+	if err == nil {
+		t.Skip("build completed before cancellation fired")
+	}
+	// No partial index: a half-built index would violate the
+	// neighbor-order invariant, so cancellation returns nil.
+	if ix != nil {
+		t.Fatal("cancelled build returned a non-nil index")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(%v, context.Canceled) = false", err)
+	}
+	if !strings.Contains(err.Error(), "gsindex") || !strings.Contains(err.Error(), "pass") {
+		t.Errorf("error %q does not name the aborted build pass", err)
+	}
+}
+
+func TestBuildContextDeadline(t *testing.T) {
+	g := gen.Roll(60_000, 32, 22)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	ix, err := BuildContext(ctx, g, BuildOptions{Workers: 4})
+	if err == nil {
+		t.Skip("build completed before the deadline")
+	}
+	if ix != nil {
+		t.Fatal("timed-out build returned a non-nil index")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("errors.Is(%v, context.DeadlineExceeded) = false", err)
+	}
+}
+
+func TestBuildContextUncancelledMatchesBuild(t *testing.T) {
+	g := gen.Roll(2_000, 8, 23)
+	ix, err := BuildContext(context.Background(), g, BuildOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("BuildContext(Background): %v", err)
+	}
+	if ix == nil {
+		t.Fatal("BuildContext returned nil index without error")
+	}
+}

@@ -25,6 +25,7 @@
 package gsindex
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -68,6 +69,20 @@ type BuildOptions struct {
 // orders. The computation is parallelized with the same degree-based
 // scheduler as ppSCAN.
 func Build(g *graph.Graph, opt BuildOptions) *Index {
+	ix, _ := BuildContext(context.Background(), g, opt) // Background never cancels
+	return ix
+}
+
+// BuildContext is Build with cooperative cancellation: the exhaustive
+// intersection pass — the expensive part the ppSCAN paper warns about —
+// checks ctx between scheduler task batches and between the two build
+// phases. A cancelled build returns (nil, ctx.Err()); there is no partial
+// index (a half-filled cn array would violate the neighbor-order
+// invariant).
+func BuildContext(ctx context.Context, g *graph.Graph, opt BuildOptions) (*Index, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	n := g.NumVertices()
 	ix := &Index{
@@ -79,7 +94,8 @@ func Build(g *graph.Graph, opt BuildOptions) *Index {
 	// under the u < v constraint and mirrored to the reverse offset. Only
 	// u's task writes cn[e(u,v)] and cn[e(v,u)] (v > u never computes
 	// them), so the phase is write-race-free without atomics.
-	sched.ForEachVertex(sched.Options{Workers: opt.Workers, DegreeThreshold: opt.DegreeThreshold},
+	err := sched.ForEachVertexCtx(ctx,
+		sched.Options{Workers: opt.Workers, DegreeThreshold: opt.DegreeThreshold},
 		n,
 		func(int32) bool { return true },
 		g.Degree,
@@ -95,8 +111,12 @@ func Build(g *graph.Graph, opt BuildOptions) *Index {
 				ix.cn[g.EdgeOffset(v, u)] = c
 			}
 		})
+	if err != nil {
+		return nil, fmt.Errorf("gsindex: build aborted during intersection pass after %v: %w", time.Since(start), err)
+	}
 	// Phase 2: neighbor orders, sorted by exactly-compared similarity.
-	sched.ForEachVertex(sched.Options{Workers: opt.Workers, DegreeThreshold: opt.DegreeThreshold},
+	err = sched.ForEachVertexCtx(ctx,
+		sched.Options{Workers: opt.Workers, DegreeThreshold: opt.DegreeThreshold},
 		n,
 		func(int32) bool { return true },
 		g.Degree,
@@ -120,8 +140,11 @@ func Build(g *graph.Graph, opt BuildOptions) *Index {
 				return va < vb
 			})
 		})
+	if err != nil {
+		return nil, fmt.Errorf("gsindex: build aborted during neighbor-order pass after %v: %w", time.Since(start), err)
+	}
 	ix.buildTime = time.Since(start)
-	return ix
+	return ix, nil
 }
 
 // Graph returns the indexed graph.

@@ -16,6 +16,9 @@ package obsv
 const (
 	// MetricCoreRuns counts completed ppSCAN runs.
 	MetricCoreRuns = "core.runs"
+	// MetricCoreCancels counts ppSCAN runs aborted by context cancellation
+	// or deadline expiry (each such run returns a result.PartialError).
+	MetricCoreCancels = "core.cancels"
 	// MetricPhaseNsPrefix + stage name accumulates per-stage wall time in
 	// nanoseconds (stages are result.PhaseNames).
 	MetricPhaseNsPrefix = "core.phase_ns."
@@ -54,4 +57,27 @@ const (
 	MetricCacheMisses    = "cache.misses"
 	MetricCacheEvictions = "cache.evictions"
 	MetricCacheSize      = "cache.size"
+
+	// Admission-control metrics (server-local, like http.* and cache.*).
+	//
+	// MetricAdmissionRejected counts requests rejected with 429 because the
+	// in-flight job semaphore was saturated and no degradation path
+	// (cache entry or index) was available.
+	MetricAdmissionRejected = "admission.rejected"
+	// MetricAdmissionTimeouts counts computations aborted by the
+	// per-request deadline (-request-timeout) and answered with 503.
+	MetricAdmissionTimeouts = "admission.timeouts"
+	// MetricAdmissionCanceled counts computations aborted because the
+	// client disconnected before completion.
+	MetricAdmissionCanceled = "admission.canceled"
+	// MetricAdmissionDegradedCache counts saturated requests answered from
+	// the LRU response cache instead of being admitted for computation.
+	MetricAdmissionDegradedCache = "admission.degraded_cache"
+	// MetricAdmissionDegradedIndex counts saturated requests answered from
+	// the attached GS*-Index without holding an admission slot.
+	MetricAdmissionDegradedIndex = "admission.degraded_index"
+	// MetricAdmissionInFlight gauges clustering computations currently
+	// holding an admission slot (compute jobs, not HTTP requests —
+	// compare http.in_flight).
+	MetricAdmissionInFlight = "admission.jobs_in_flight"
 )

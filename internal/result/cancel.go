@@ -1,0 +1,34 @@
+package result
+
+import "fmt"
+
+// PartialError reports a clustering run that was aborted by context
+// cancellation or deadline expiry before completing. The run's partial
+// statistics — phase wall times, similarity-computation counts and (for the
+// distributed surrogate) communication bytes accumulated up to the abort
+// point — are preserved so operators can see where the budget went.
+//
+// PartialError unwraps to the context's error, so callers can use
+// errors.Is(err, context.Canceled) / errors.Is(err, context.DeadlineExceeded)
+// to distinguish explicit cancellation from a deadline.
+type PartialError struct {
+	// Stats holds the statistics accumulated before the abort. Stats.Total
+	// is the wall time until the abort; PhaseTimes covers only completed
+	// (or partially completed) phases.
+	Stats Stats
+	// Phase names the phase or superstep that was executing when the run
+	// observed the cancellation.
+	Phase string
+	// Err is the underlying context error (context.Canceled or
+	// context.DeadlineExceeded).
+	Err error
+}
+
+// Error implements the error interface.
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("%s aborted during %s after %v: %v",
+		e.Stats.Algorithm, e.Phase, e.Stats.Total, e.Err)
+}
+
+// Unwrap returns the underlying context error.
+func (e *PartialError) Unwrap() error { return e.Err }

@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachVertexCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var processed atomic.Int64
+	err := ForEachVertexCtx(ctx, Options{Workers: 4}, 1_000_000,
+		func(int32) bool { return true },
+		func(int32) int32 { return 1 },
+		func(u int32, worker int) { processed.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The master polls every 8192 vertices, so a pre-cancelled context may
+	// let at most a few tasks through — not the whole range.
+	if n := processed.Load(); n >= 1_000_000 {
+		t.Errorf("pre-cancelled loop processed all %d vertices", n)
+	}
+}
+
+func TestForEachVertexCtxCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 1 << 20
+	var processed atomic.Int64
+	err := ForEachVertexCtx(ctx, Options{Workers: 4, DegreeThreshold: 256}, n,
+		func(int32) bool { return true },
+		func(int32) int32 { return 1 },
+		func(u int32, worker int) {
+			if processed.Add(1) == 1000 {
+				cancel()
+			}
+			// Slow each vertex slightly so the queue cannot fully drain
+			// between the cancel and the workers observing it.
+			for i := 0; i < 50; i++ {
+				_ = i * i
+			}
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if p := processed.Load(); p < 1000 || p >= n {
+		t.Errorf("processed %d of %d vertices; want partial progress", p, n)
+	}
+}
+
+func TestForEachVertexCtxUncancelledVisitsAll(t *testing.T) {
+	var processed atomic.Int64
+	err := ForEachVertexCtx(context.Background(), Options{Workers: 4}, 100_000,
+		func(int32) bool { return true },
+		func(int32) int32 { return 1 },
+		func(u int32, worker int) { processed.Add(1) })
+	if err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+	if p := processed.Load(); p != 100_000 {
+		t.Errorf("processed %d vertices, want 100000", p)
+	}
+}
+
+func TestPoolCancelDrainsPromptly(t *testing.T) {
+	p := NewPool(2, func(r Range, worker int) {
+		time.Sleep(time.Millisecond)
+	})
+	for i := int32(0); i < 64; i++ {
+		p.Submit(Range{Beg: i, End: i + 1})
+	}
+	p.Cancel()
+	done := make(chan struct{})
+	go func() { p.Join(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool did not drain after Cancel")
+	}
+	if !p.Canceled() {
+		t.Error("Canceled() = false after Cancel()")
+	}
+}

@@ -16,8 +16,10 @@
 package sched
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ppscan/internal/obsv"
@@ -113,9 +115,19 @@ func (o Options) normalized() Options {
 // ForEachVertex blocks until every submitted task completes (the paper's
 // JoinThreadPool barrier).
 func ForEachVertex(opt Options, n int32, need func(int32) bool, deg func(int32) int32, process func(u int32, worker int)) {
+	_ = ForEachVertexCtx(context.Background(), opt, n, need, deg, process)
+}
+
+// ForEachVertexCtx is ForEachVertex with cooperative cancellation: when ctx
+// is cancelled, the master stops submitting tasks, queued tasks drain
+// without running, and in-flight tasks finish their current range before
+// the pool joins. Cancellation granularity is therefore one task batch
+// (~DegreeThreshold accumulated degree), the unit Algorithm 5 schedules.
+// Returns ctx.Err() when the run was cut short, nil otherwise.
+func ForEachVertexCtx(ctx context.Context, opt Options, n int32, need func(int32) bool, deg func(int32) int32, process func(u int32, worker int)) error {
 	opt = opt.normalized()
 	if n <= 0 {
-		return
+		return nil
 	}
 	pool := NewPoolObserved(opt.Workers, opt.Metrics, func(r Range, worker int) {
 		for u := r.Beg; u < r.End; u++ {
@@ -124,9 +136,19 @@ func ForEachVertex(opt Options, n int32, need func(int32) bool, deg func(int32) 
 			}
 		}
 	})
+	if ctx != nil && ctx.Done() != nil {
+		release := context.AfterFunc(ctx, pool.Cancel)
+		defer release()
+	}
 	var degSum int64
 	beg := int32(0)
 	for u := int32(0); u < n; u++ {
+		// The cancellation flag is polled once per submission and every
+		// 8192 vertices (the master loop is otherwise a tight accumulation
+		// over skipped vertices).
+		if u&8191 == 0 && pool.Canceled() {
+			break
+		}
 		if !need(u) {
 			continue
 		}
@@ -135,10 +157,19 @@ func ForEachVertex(opt Options, n int32, need func(int32) bool, deg func(int32) 
 			pool.submit(Range{Beg: beg, End: u + 1}, degSum)
 			degSum = 0
 			beg = u + 1
+			if pool.Canceled() {
+				break
+			}
 		}
 	}
-	pool.submit(Range{Beg: beg, End: n}, degSum)
+	if !pool.Canceled() {
+		pool.submit(Range{Beg: beg, End: n}, degSum)
+	}
 	pool.Join()
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // ForEachVertexStatic runs process for every vertex in [0, n) using fixed
@@ -192,6 +223,10 @@ type Pool struct {
 	tasks chan task
 	wg    sync.WaitGroup
 	m     *Metrics
+	// canceled makes workers drain queued tasks without running them; the
+	// flag is checked once per task, so a cancelled pool quiesces after at
+	// most one in-flight range per worker.
+	canceled atomic.Bool
 	// Submitted counts tasks submitted, for scheduler introspection tests.
 	submitted int
 }
@@ -215,6 +250,9 @@ func NewPoolObserved(workers int, m *Metrics, run func(r Range, worker int)) *Po
 		go func(worker int) {
 			defer p.wg.Done()
 			for t := range p.tasks {
+				if p.canceled.Load() {
+					continue // drain without running
+				}
 				if !timed {
 					run(t.r, worker)
 					continue
@@ -263,6 +301,14 @@ func (p *Pool) submit(r Range, deg int64) {
 func (p *Pool) Submitted() int {
 	return p.submitted
 }
+
+// Cancel makes the pool drain remaining queued tasks without running them.
+// In-flight tasks finish their current range. Safe to call from any
+// goroutine, including a context.AfterFunc.
+func (p *Pool) Cancel() { p.canceled.Store(true) }
+
+// Canceled reports whether Cancel has been called.
+func (p *Pool) Canceled() bool { return p.canceled.Load() }
 
 // Join closes the queue and blocks until all workers finish.
 func (p *Pool) Join() {

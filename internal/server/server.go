@@ -27,13 +27,16 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ppscan"
@@ -55,6 +58,19 @@ type Server struct {
 	logger  *log.Logger    // nil disables request logging
 	start   time.Time
 
+	// Admission control (see WithAdmission). sem is nil when in-flight
+	// computations are unbounded; reqTimeout is zero when requests have no
+	// deadline. draining flips when the process received SIGTERM and is
+	// refusing new work while in-flight requests finish.
+	sem        chan struct{}
+	reqTimeout time.Duration
+	draining   atomic.Bool
+
+	// runFn performs one direct clustering computation. It exists as a
+	// test seam (admission tests substitute a controllable function);
+	// production servers always use ppscan.RunContext.
+	runFn func(ctx context.Context, opt ppscan.Options) (*ppscan.Result, error)
+
 	mu    sync.Mutex
 	cache *lruCache
 }
@@ -67,13 +83,27 @@ type cacheKey struct {
 
 // New creates a server that runs the selected algorithm per request.
 func New(g *graph.Graph, workers int) *Server {
-	return &Server{
+	s := &Server{
 		g:       g,
 		workers: workers,
 		reg:     obsv.New(),
 		start:   time.Now(),
 		cache:   newLRU(DefaultCacheSize),
 	}
+	s.runFn = func(ctx context.Context, opt ppscan.Options) (*ppscan.Result, error) {
+		return ppscan.RunContext(ctx, s.g, opt)
+	}
+	// Pre-register the admission counters so /metrics shows zeros before
+	// the first rejection instead of omitting the keys.
+	for _, name := range []string{
+		obsv.MetricAdmissionRejected, obsv.MetricAdmissionTimeouts,
+		obsv.MetricAdmissionCanceled, obsv.MetricAdmissionDegradedCache,
+		obsv.MetricAdmissionDegradedIndex,
+	} {
+		s.reg.Counter(name)
+	}
+	s.reg.Gauge(obsv.MetricAdmissionInFlight)
+	return s
 }
 
 // WithIndex attaches a prebuilt GS*-Index; index-served queries ignore the
@@ -101,6 +131,35 @@ func (s *Server) WithLogging(l *log.Logger) *Server {
 	s.logger = l
 	return s
 }
+
+// WithAdmission bounds the serving stack: at most maxInflight clustering
+// computations run concurrently (0 = unlimited), and each computation is
+// cancelled after requestTimeout (0 = no deadline). A request that cannot
+// get an admission slot degrades to the response cache or the attached
+// GS*-Index; with neither available it is rejected with 429 and a
+// Retry-After header. A computation that exceeds its deadline aborts
+// mid-phase (see ppscan.RunContext) and answers 503.
+func (s *Server) WithAdmission(maxInflight int, requestTimeout time.Duration) *Server {
+	if maxInflight > 0 {
+		s.sem = make(chan struct{}, maxInflight)
+	} else {
+		s.sem = nil
+	}
+	if requestTimeout < 0 {
+		requestTimeout = 0
+	}
+	s.reqTimeout = requestTimeout
+	return s
+}
+
+// SetDraining marks the server as draining (or not): /healthz switches to
+// 503 so load balancers stop routing here, while in-flight requests keep
+// being served. cmd/scanserver flips this on SIGTERM before calling
+// http.Server.Shutdown.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether SetDraining(true) was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Handler returns the HTTP handler exposing all endpoints. Every endpoint
 // is wrapped in the instrumentation middleware feeding the server registry
@@ -186,13 +245,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	out["graph.edges"] = s.g.NumEdges()
 	out["server.indexed"] = s.ix != nil
 	out["server.uptime_ns"] = time.Since(s.start).Nanoseconds()
+	out["server.draining"] = s.draining.Load()
+	out["admission.max_inflight"] = cap(s.sem) // 0 = unlimited
+	out["admission.request_timeout_ns"] = s.reqTimeout.Nanoseconds()
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := graph.ComputeStats("graph", s.g)
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
+	status, body := http.StatusOK, "ok"
+	if s.draining.Load() {
+		// Shutting down: tell load balancers to stop routing here while
+		// in-flight requests finish.
+		status, body = http.StatusServiceUnavailable, "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":    body,
 		"vertices":  st.NumVertices,
 		"edges":     st.NumEdges / 2,
 		"avgDegree": st.AvgDegree,
@@ -223,9 +291,38 @@ func (s *Server) params(r *http.Request) (eps string, mu int, algo ppscan.Algori
 	return eps, mu, algo, nil
 }
 
-// resolve runs (or serves from cache/index) the clustering for the given
-// parameters.
-func (s *Server) resolve(eps string, mu int, algo ppscan.Algorithm) (*ppscan.Result, error) {
+// errSaturated reports that every admission slot is busy and no
+// degradation path (cache entry, attached index) could answer the request.
+var errSaturated = errors.New("server saturated: all admission slots busy")
+
+// acquire attempts to take an admission slot without blocking. The
+// returned release function must be called exactly once when ok.
+func (s *Server) acquire() (release func(), ok bool) {
+	if s.sem == nil {
+		return func() {}, true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		g := s.reg.Gauge(obsv.MetricAdmissionInFlight)
+		g.Add(1)
+		return func() { g.Add(-1); <-s.sem }, true
+	default:
+		return nil, false
+	}
+}
+
+// saturated reports whether every admission slot is currently held. The
+// read is a racy snapshot; it is used only to attribute cache hits to the
+// degraded-serving counter, never for admission decisions.
+func (s *Server) saturated() bool {
+	return s.sem != nil && len(s.sem) == cap(s.sem)
+}
+
+// resolve answers the clustering for the given parameters: from the LRU
+// cache when possible, else from the GS*-Index or a direct algorithm run
+// under admission control. ctx bounds the computation (client disconnect
+// and the configured per-request deadline).
+func (s *Server) resolve(ctx context.Context, eps string, mu int, algo ppscan.Algorithm) (*ppscan.Result, error) {
 	key := cacheKey{eps: eps, mu: mu, algo: algo}
 	if s.ix != nil {
 		key.algo = "index"
@@ -235,21 +332,46 @@ func (s *Server) resolve(eps string, mu int, algo ppscan.Algorithm) (*ppscan.Res
 	s.mu.Unlock()
 	if ok {
 		s.reg.Counter(obsv.MetricCacheHits).Inc()
+		if s.saturated() {
+			s.reg.Counter(obsv.MetricAdmissionDegradedCache).Inc()
+		}
 		return cached, nil
 	}
 	s.reg.Counter(obsv.MetricCacheMisses).Inc()
-	var res *ppscan.Result
-	var err error
-	if s.ix != nil {
-		if mu <= 0 || mu > 1<<30 {
-			return nil, fmt.Errorf("mu out of range")
+	release, ok := s.acquire()
+	if !ok {
+		if s.ix != nil {
+			// Saturated but index-backed: answer from the index without an
+			// admission slot — bounded O(answer) work — rather than queue
+			// or reject.
+			s.reg.Counter(obsv.MetricAdmissionDegradedIndex).Inc()
+			return s.queryIndex(key, eps, mu)
 		}
-		res, err = s.ix.Query(eps, int32(mu))
-	} else {
-		res, err = ppscan.Run(s.g, ppscan.Options{
-			Algorithm: algo, Epsilon: eps, Mu: mu, Workers: s.workers,
-		})
+		s.reg.Counter(obsv.MetricAdmissionRejected).Inc()
+		return nil, errSaturated
 	}
+	defer release()
+	if s.ix != nil {
+		return s.queryIndex(key, eps, mu)
+	}
+	res, err := s.runFn(ctx, ppscan.Options{
+		Algorithm: algo, Epsilon: eps, Mu: mu, Workers: s.workers,
+	})
+	if err != nil {
+		return nil, err // classified by writeResolveError
+	}
+	s.mu.Lock()
+	s.cache.add(key, res)
+	s.mu.Unlock()
+	return res, nil
+}
+
+// queryIndex answers from the attached GS*-Index and caches the result.
+func (s *Server) queryIndex(key cacheKey, eps string, mu int) (*ppscan.Result, error) {
+	if mu <= 0 || mu > 1<<30 {
+		return nil, fmt.Errorf("mu out of range")
+	}
+	res, err := s.ix.Query(eps, int32(mu))
 	if err != nil {
 		return nil, err
 	}
@@ -257,6 +379,52 @@ func (s *Server) resolve(eps string, mu int, algo ppscan.Algorithm) (*ppscan.Res
 	s.cache.add(key, res)
 	s.mu.Unlock()
 	return res, nil
+}
+
+// computeCtx derives the computation context for one request: the client's
+// context (cancelled on disconnect) bounded by the per-request deadline.
+func (s *Server) computeCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.reqTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.reqTimeout)
+}
+
+// retryAfterSecs suggests a client back-off: one second for saturation
+// (slots turn over at computation granularity), the configured deadline
+// rounded up for timeouts.
+func (s *Server) retryAfterSecs() int {
+	secs := int(s.reqTimeout / time.Second)
+	if s.reqTimeout%time.Second != 0 || secs < 1 {
+		secs++
+	}
+	return secs
+}
+
+// writeResolveError maps a resolve failure to an HTTP response: saturation
+// becomes 429 + Retry-After, a deadline expiry 503 + Retry-After (the body
+// names the aborted phase from the PartialError), a client disconnect 503,
+// anything else 400.
+func (s *Server) writeResolveError(w http.ResponseWriter, err error) {
+	var pe *ppscan.PartialError
+	phase := ""
+	if errors.As(err, &pe) {
+		phase = pe.Phase
+	}
+	switch {
+	case errors.Is(err, errSaturated):
+		writeRetryError(w, http.StatusTooManyRequests, 1, err, phase)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.reg.Counter(obsv.MetricAdmissionTimeouts).Inc()
+		writeRetryError(w, http.StatusServiceUnavailable, s.retryAfterSecs(), err, phase)
+	case errors.Is(err, context.Canceled):
+		// The client has (almost certainly) gone away; the status is for
+		// the access log and the metrics middleware.
+		s.reg.Counter(obsv.MetricAdmissionCanceled).Inc()
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
 }
 
 // clusterSummary is the /cluster response body.
@@ -279,9 +447,11 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.resolve(eps, mu, algo)
+	ctx, cancel := s.computeCtx(r)
+	defer cancel()
+	res, err := s.resolve(ctx, eps, mu, algo)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeResolveError(w, err)
 		return
 	}
 	out := clusterSummary{
@@ -323,9 +493,11 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v := int32(v64)
-	res, err := s.resolve(eps, mu, algo)
+	ctx, cancel := s.computeCtx(r)
+	defer cancel()
+	res, err := s.resolve(ctx, eps, mu, algo)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeResolveError(w, err)
 		return
 	}
 	var clusters []int32
@@ -360,9 +532,11 @@ func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.resolve(eps, mu, algo)
+	ctx, cancel := s.computeCtx(r)
+	defer cancel()
+	res, err := s.resolve(ctx, eps, mu, algo)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeResolveError(w, err)
 		return
 	}
 	reports := quality.Report(s.g, res)
@@ -384,4 +558,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeRetryError writes an error response with a Retry-After header. phase
+// (when non-empty) names the algorithm phase that was executing at abort.
+func writeRetryError(w http.ResponseWriter, status, retryAfterSecs int, err error, phase string) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs))
+	body := map[string]any{
+		"error":             err.Error(),
+		"retryAfterSeconds": retryAfterSecs,
+	}
+	if phase != "" {
+		body["abortedDuring"] = phase
+	}
+	writeJSON(w, status, body)
 }

@@ -34,6 +34,7 @@
 package ppscan
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -137,6 +138,26 @@ type Options struct {
 
 // Run executes the selected algorithm on g and returns its clustering.
 func Run(g *graph.Graph, opt Options) (*Result, error) {
+	return RunContext(context.Background(), g, opt)
+}
+
+// PartialError is returned (wrapped) by RunContext when a run is aborted
+// by context cancellation or deadline expiry: it carries the statistics
+// accumulated up to the abort point and unwraps to the context's error.
+type PartialError = result.PartialError
+
+// RunContext is Run with cooperative cancellation. The parallel
+// multi-phase algorithms (ppscan, ppscan-no, dist-scan) check ctx at every
+// phase/superstep barrier and between scheduler task batches inside each
+// phase, aborting promptly with a *PartialError that carries partial
+// statistics. The remaining baselines are single uninterruptible passes:
+// they check ctx only before starting (and RunContext reports the
+// cancellation after they finish); use a cancellable algorithm when serving
+// untrusted deadlines.
+func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if g == nil {
 		return nil, fmt.Errorf("ppscan: nil graph")
 	}
@@ -158,33 +179,49 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("ppscan: not started: %w", err)
+	}
 	switch algo {
 	case AlgoPPSCAN, AlgoPPSCANNO:
-		res := core.Run(g, th, core.Options{
+		res, err := core.RunContext(ctx, g, th, core.Options{
 			Kernel:           kernel,
 			Workers:          opt.Workers,
 			DegreeThreshold:  opt.DegreeThreshold,
 			StaticScheduling: opt.StaticScheduling,
 		})
+		if err != nil {
+			return nil, err
+		}
 		if algo == AlgoPPSCANNO {
 			res.Stats.Algorithm = "ppSCAN-NO"
 		}
 		return res, nil
 	case AlgoPSCAN:
-		return pscan.Run(g, th, pscan.Options{Kernel: kernel}), nil
+		return finishSequential(ctx, pscan.Run(g, th, pscan.Options{Kernel: kernel}))
 	case AlgoSCAN:
-		return scan.Run(g, th, scan.Options{Kernel: kernel}), nil
+		return finishSequential(ctx, scan.Run(g, th, scan.Options{Kernel: kernel}))
 	case AlgoSCANXP:
-		return scanxp.Run(g, th, scanxp.Options{Kernel: kernel, Workers: opt.Workers}), nil
+		return finishSequential(ctx, scanxp.Run(g, th, scanxp.Options{Kernel: kernel, Workers: opt.Workers}))
 	case AlgoAnySCAN:
-		return anyscan.Run(g, th, anyscan.Options{Kernel: kernel, Workers: opt.Workers}), nil
+		return finishSequential(ctx, anyscan.Run(g, th, anyscan.Options{Kernel: kernel, Workers: opt.Workers}))
 	case AlgoSCANPP:
-		return scanpp.Run(g, th, scanpp.Options{Kernel: kernel}), nil
+		return finishSequential(ctx, scanpp.Run(g, th, scanpp.Options{Kernel: kernel}))
 	case AlgoDistSCAN:
-		return distscan.Run(g, th, distscan.Options{Kernel: kernel, Partitions: opt.Workers}), nil
+		return distscan.RunContext(ctx, g, th, distscan.Options{Kernel: kernel, Partitions: opt.Workers})
 	default:
 		return nil, fmt.Errorf("ppscan: unknown algorithm %q", opt.Algorithm)
 	}
+}
+
+// finishSequential reports a completed baseline run, surfacing a
+// cancellation that fired while it ran (the baselines have no internal
+// checkpoints, so the result — though complete — arrived past deadline).
+func finishSequential(ctx context.Context, res *Result) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &PartialError{Stats: res.Stats, Phase: "completed (no checkpoints)", Err: err}
+	}
+	return res, nil
 }
 
 // kernelFor resolves the kernel override or each algorithm's default.
@@ -216,6 +253,13 @@ type Index = gsindex.Index
 // near-instant for any parameters). workers < 1 means GOMAXPROCS.
 func BuildIndex(g *graph.Graph, workers int) *Index {
 	return gsindex.Build(g, gsindex.BuildOptions{Workers: workers})
+}
+
+// BuildIndexContext is BuildIndex with cooperative cancellation: the
+// exhaustive similarity pass checks ctx between scheduler task batches. A
+// cancelled build returns (nil, error) — there is no partial index.
+func BuildIndexContext(ctx context.Context, g *graph.Graph, workers int) (*Index, error) {
+	return gsindex.BuildContext(ctx, g, gsindex.BuildOptions{Workers: workers})
 }
 
 // SaveIndex serializes an index's payload; load it back with LoadIndex and
