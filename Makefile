@@ -12,7 +12,7 @@ GOVULNCHECK_VERSION  ?= v1.1.4
 STATICCHECK          := $(TOOLS_BIN)/staticcheck
 GOVULNCHECK          := $(TOOLS_BIN)/govulncheck
 
-.PHONY: build test vet race check staticcheck govulncheck bench bench-obsv
+.PHONY: build test vet race check staticcheck govulncheck bench bench-obsv bench-alloc alloc-gate
 
 build:
 	$(GO) build ./...
@@ -44,11 +44,19 @@ govulncheck:
 		echo "warning: govulncheck $(GOVULNCHECK_VERSION) unavailable (offline?); skipping" >&2 ; \
 	fi
 
-# The pre-merge gate: static checks plus the full suite under the race
+# The serving hot path must stay within its heap-allocation budget (see
+# TestServingAllocBudget). Run WITHOUT -race: the race runtime allocates
+# per instrumented access, so the test skips itself under it — this
+# dedicated pass is what actually enforces the gate.
+alloc-gate:
+	$(GO) test -run TestServingAllocBudget -count 1 -v ./internal/engine/
+
+# The pre-merge gate: static checks, the full suite under the race
 # detector (the parallel phases, scheduler telemetry and HTTP middleware
-# are all exercised concurrently).
+# are all exercised concurrently), then the non-race allocation gate.
 check: vet staticcheck govulncheck
 	$(GO) test -race ./...
+	$(MAKE) alloc-gate
 
 bench:
 	$(GO) test -bench . -benchtime 10x .
@@ -57,3 +65,11 @@ bench:
 # numbers recorded in EXPERIMENTS.md).
 bench-obsv:
 	$(GO) test -run xxx -bench BenchmarkObsvOverhead -benchtime 30x -count 3 .
+
+# Pooled-workspace serving benchmarks: warm (steady-state) vs cold runs of
+# the engine, plus the end-to-end server resolve path. allocs/op is the
+# headline number; pipe `-count 10` outputs into benchstat to compare
+# before/after (numbers recorded in EXPERIMENTS.md).
+bench-alloc:
+	$(GO) test -run xxx -bench 'BenchmarkEngine(SteadyState|ColdRun)' -benchtime 20x -count 3 ./internal/engine/
+	$(GO) test -run xxx -bench BenchmarkServerSteadyState -benchtime 20x -count 3 ./internal/server/

@@ -12,6 +12,7 @@ package main
 
 import (
 	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -179,18 +180,23 @@ func writeStatsJSON(path string, g *graph.Graph, res *ppscan.Result) error {
 
 // runAll executes every algorithm on the same input, prints a comparison
 // table, and fails loudly if any two results differ — a built-in
-// cross-validation mode.
+// cross-validation mode. All runs share one workspace, so the scratch
+// buffers are allocated once and each result is cloned out of them before
+// the next algorithm overwrites the memory.
 func runAll(g *graph.Graph, name, eps string, mu, workers int) {
 	fmt.Printf("%s: |V|=%d |E|=%d eps=%s mu=%d\n", name, g.NumVertices(), g.NumEdges(), eps, mu)
 	fmt.Printf("%-10s %12s %16s %10s\n", "algorithm", "runtime", "CompSim calls", "clusters")
+	ws := ppscan.NewWorkspace()
+	defer ws.Close()
 	var ref *ppscan.Result
 	for _, algo := range ppscan.Algorithms() {
-		res, err := ppscan.Run(g, ppscan.Options{
+		res, err := ppscan.RunWorkspace(context.Background(), g, ppscan.Options{
 			Algorithm: algo, Epsilon: eps, Mu: mu, Workers: workers,
-		})
+		}, ws)
 		if err != nil {
 			fatal(err)
 		}
+		res = res.Clone()
 		fmt.Printf("%-10s %12v %16d %10d\n",
 			algo, res.Stats.Total.Round(time.Microsecond), res.Stats.CompSimCalls, res.NumClusters())
 		if ref == nil {

@@ -10,6 +10,12 @@
 // /vertex?v=&eps=&mu=, /quality?eps=&mu=, /metrics. With -pprof, the Go
 // profiling endpoints are additionally served under /debug/pprof/.
 //
+// -algo selects the default algorithm backend for requests that omit the
+// algo query parameter; -list-algos prints the registered backends. Direct
+// (non-index) computations draw their scratch memory from a per-server
+// workspace pool sized to -max-inflight, so steady-state serving performs
+// near-zero allocations per request.
+//
 // Admission control: -max-inflight bounds concurrent clustering
 // computations (excess requests degrade to the cache/index or get 429 +
 // Retry-After) and -request-timeout cancels computations that exceed the
@@ -29,6 +35,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"slices"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,6 +53,8 @@ func main() {
 		scale     = flag.Float64("scale", 1.0, "dataset scale factor")
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 0, "worker goroutines per query (0 = GOMAXPROCS)")
+		algoName  = flag.String("algo", "", "default algorithm backend for requests that omit algo= (empty = ppscan); see -list-algos")
+		listAlgos = flag.Bool("list-algos", false, "list the registered algorithm backends and exit")
 		useIndex  = flag.Bool("index", false, "build a GS*-Index at startup and serve queries from it")
 		indexFile = flag.String("indexfile", "", "with -index: load the index from this file if it exists, otherwise build and save it there")
 		cacheSize = flag.Int("cache", server.DefaultCacheSize, "response-cache capacity (distinct parameter combinations kept resident)")
@@ -56,6 +66,19 @@ func main() {
 		grace       = flag.Duration("shutdown-grace", 15*time.Second, "max time to wait for in-flight requests on SIGTERM/SIGINT")
 	)
 	flag.Parse()
+
+	if *listAlgos {
+		for _, name := range ppscan.EngineNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *algoName != "" {
+		names := ppscan.EngineNames()
+		if !slices.Contains(names, *algoName) {
+			log.Fatalf("scanserver: unknown -algo %q (registered: %s)", *algoName, strings.Join(names, ", "))
+		}
+	}
 
 	var g *graph.Graph
 	var err error
@@ -74,7 +97,8 @@ func main() {
 
 	srv := server.New(g, *workers).
 		WithCacheSize(*cacheSize).
-		WithAdmission(*maxInflight, *reqTimeout)
+		WithAdmission(*maxInflight, *reqTimeout).
+		WithAlgorithm(ppscan.Algorithm(*algoName))
 	if *logReqs {
 		srv = srv.WithLogging(log.Default())
 	}

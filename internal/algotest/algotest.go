@@ -5,10 +5,13 @@
 package algotest
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"testing"
 
 	"ppscan/graph"
+	"ppscan/internal/engine"
 	"ppscan/internal/gen"
 	"ppscan/internal/result"
 	"ppscan/internal/simdef"
@@ -101,6 +104,54 @@ func CheckGroundTruth(g *graph.Graph, r *result.Result, th simdef.Threshold) err
 		}
 	}
 	return nil
+}
+
+// CheckEngines runs every backend registered with internal/engine over the
+// corpus × parameter grid, all on one shared workspace, and requires every
+// pair of engines to produce identical clusterings. The first engine's
+// result per combination is additionally validated against the brute-force
+// ground truth (the others are pinned to it by equality). Results are
+// cloned out of the workspace before the next run overwrites it — which
+// also exercises the aliasing contract: a stale-scratch bug in any engine
+// shows up as a cross-engine mismatch here.
+//
+// Callers must link the engine implementations (blank-import them); this
+// package cannot, because the implementations' own tests import it.
+func CheckEngines(t *testing.T) {
+	engines := engine.All()
+	if len(engines) < 2 {
+		t.Fatalf("engine registry has %d backends, want >= 2 (did the caller blank-import the implementations?)", len(engines))
+	}
+	ws := engine.NewWorkspace()
+	t.Cleanup(ws.Close)
+	for _, c := range Corpus() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			for _, th := range Params() {
+				var ref *result.Result
+				var refName string
+				for _, e := range engines {
+					res, err := e.RunContext(context.Background(), c.G, th, engine.Options{}, ws)
+					if err != nil {
+						t.Errorf("%s (eps=%s mu=%d): %v", e.Name(), th.Eps, th.Mu, err)
+						continue
+					}
+					res = res.Clone()
+					if res.Stats.Algorithm == "" {
+						t.Errorf("%s (eps=%s mu=%d): empty Stats.Algorithm", e.Name(), th.Eps, th.Mu)
+					}
+					if ref == nil {
+						if err := CheckGroundTruth(c.G, res, th); err != nil {
+							t.Errorf("%s: %v", e.Name(), err)
+						}
+						ref, refName = res, e.Name()
+					} else if err := result.Equal(ref, res); err != nil {
+						t.Errorf("%s disagrees with %s (eps=%s mu=%d): %v", e.Name(), refName, th.Eps, th.Mu, err)
+					}
+				}
+			}
+		})
+	}
 }
 
 func mustGraph(n int32, edges []graph.Edge) *graph.Graph {

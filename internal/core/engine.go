@@ -1,0 +1,54 @@
+package core
+
+import (
+	"context"
+
+	"ppscan/graph"
+	"ppscan/internal/engine"
+	"ppscan/internal/intersect"
+	"ppscan/internal/result"
+	"ppscan/internal/simdef"
+)
+
+// ppscanEngine adapts RunWorkspace to the engine interface. Two
+// registrations share it: "ppscan" (the paper's configuration with the
+// vectorized pivot kernel) and "ppscan-no" (the kernel ablation running
+// pSCAN's scalar merge kernel).
+type ppscanEngine struct {
+	name   string
+	kernel intersect.Kind
+	label  string // Stats.Algorithm override on success; empty keeps "ppSCAN"
+}
+
+func (e ppscanEngine) Name() string { return e.name }
+
+func (e ppscanEngine) RunContext(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt engine.Options, ws *engine.Workspace) (*result.Result, error) {
+	kern := e.kernel
+	if opt.Kernel != "" {
+		k, err := intersect.ParseKind(opt.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		kern = k
+	}
+	res, err := RunWorkspace(ctx, g, th, Options{
+		Kernel:           kern,
+		Workers:          opt.Workers,
+		DegreeThreshold:  opt.DegreeThreshold,
+		StaticScheduling: opt.StaticScheduling,
+		Registry:         opt.Registry,
+		Tracer:           opt.Tracer,
+	}, ws)
+	if err != nil {
+		return nil, err
+	}
+	if e.label != "" {
+		res.Stats.Algorithm = e.label
+	}
+	return res, nil
+}
+
+func init() {
+	engine.Register(ppscanEngine{name: "ppscan", kernel: intersect.PivotBlock16})
+	engine.Register(ppscanEngine{name: "ppscan-no", kernel: intersect.MergeEarly, label: "ppSCAN-NO"})
+}

@@ -5,15 +5,16 @@ package core
 // equivalence tests only verify in aggregate.
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 
 	"ppscan/graph"
+	"ppscan/internal/engine"
 	"ppscan/internal/gen"
 	"ppscan/internal/intersect"
 	"ppscan/internal/result"
 	"ppscan/internal/simdef"
-	"ppscan/internal/unionfind"
 )
 
 func newState(t *testing.T, g *graph.Graph, eps string, mu int32, workers int) *state {
@@ -22,16 +23,12 @@ func newState(t *testing.T, g *graph.Graph, eps string, mu int32, workers int) *
 	if err != nil {
 		t.Fatal(err)
 	}
+	ws := engine.NewWorkspace()
+	t.Cleanup(ws.Close)
 	opt := Options{Kernel: intersect.PivotBlock16, Workers: workers}.normalized()
-	return &state{
-		g:       g,
-		th:      th,
-		opt:     opt,
-		roles:   make([]result.Role, g.NumVertices()),
-		sim:     make([]int32, g.NumDirectedEdges()),
-		uf:      unionfind.NewConcurrent(g.NumVertices()),
-		workers: make([]workerState, opt.Workers),
-	}
+	s := ws.Scratch(scratchKey, newCoreState).(*state)
+	s.reset(context.Background(), g, th, opt, ws)
+	return s
 }
 
 func TestPruneSimLabelsObviousEdges(t *testing.T) {

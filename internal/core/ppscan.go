@@ -14,14 +14,24 @@
 //	  P4 ClusterCore without CompSim — unions over already-known Sim edges
 //	  P5 ClusterCore with CompSim    — unions needing new intersections
 //	  P6 InitClusterID               — CAS minimum-core-id per set
-//	  P7 ClusterNonCore              — pipelined membership emission
+//	  P7 ClusterNonCore              — batched membership emission
 //
 // Shared mutable state across threads is confined to: the per-edge
 // similarity array (atomic int32), the wait-free union-find, the CAS'd
-// cluster-id array, and the pipelined membership channel. Per Theorem 4.1
+// cluster-id array, and the batch-flushed membership list. Per Theorem 4.1
 // each edge's similarity is computed at most once; the u < v constraints
 // make each edge's writer unique within every phase, so the atomics carry
 // no retry loops — the design is lock-free end to end.
+//
+// # Workspace pooling
+//
+// All O(n+m) scratch (roles, similarity labels, union-find, cluster ids,
+// per-worker stat blocks, membership batches) and the scheduler's worker
+// goroutines live in an engine.Workspace. RunWorkspace acquires them from
+// the workspace and leaves them there grown for the next run, so a warm
+// run on a previously-seen graph size performs near-zero heap allocations
+// — the property the serving stack's steady state depends on. RunContext
+// is the allocate-per-run convenience wrapper over a transient workspace.
 package core
 
 import (
@@ -33,6 +43,7 @@ import (
 	"time"
 
 	"ppscan/graph"
+	"ppscan/internal/engine"
 	"ppscan/internal/intersect"
 	"ppscan/internal/obsv"
 	"ppscan/internal/result"
@@ -58,8 +69,8 @@ type Options struct {
 	// fixed equal-size vertex blocks. Ablation knob for the scheduler
 	// experiment; the paper's ppSCAN always uses dynamic scheduling.
 	StaticScheduling bool
-	// NonCoreBatch is the pipelined non-core clustering batch size; < 1
-	// defaults to 1024 pairs per flush.
+	// NonCoreBatch is the non-core clustering batch size; < 1 defaults to
+	// 1024 pairs per flush.
 	NonCoreBatch int
 	// Registry receives the run's metrics (phase times, CompSim counts,
 	// kernel and scheduler telemetry). nil means obsv.Default(); pass
@@ -108,39 +119,35 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 // statistics accumulated so far (unwrapping to ctx.Err()); the result is
 // then nil.
 func RunContext(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt Options) (*result.Result, error) {
+	return RunWorkspace(ctx, g, th, opt, nil)
+}
+
+// scratchKey parks the pooled ppSCAN state in an engine.Workspace.
+const scratchKey = "core"
+
+// RunWorkspace is RunContext running on a pooled workspace: every scratch
+// buffer and the scheduler crew come from ws and stay there for the next
+// run. A nil ws falls back to a transient workspace (closed on return).
+//
+// Aliasing rule: the returned Result's Roles, CoreClusterID and NonCore
+// slices alias workspace memory and are valid only until the next run on
+// ws; clone the result (Result.Clone) to retain it longer. The workspace
+// must not be used concurrently by another run.
+func RunWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt Options, ws *engine.Workspace) (*result.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if ws == nil {
+		ws = engine.NewWorkspace()
+		defer ws.Close()
+	}
 	opt = opt.normalized()
-	start := time.Now()
-	n := g.NumVertices()
-	s := &state{
-		g:       g,
-		th:      th,
-		ctx:     ctx,
-		opt:     opt,
-		roles:   make([]result.Role, n),
-		sim:     make([]int32, g.NumDirectedEdges()),
-		uf:      unionfind.NewConcurrent(n),
-		workers: make([]workerState, opt.Workers),
-		reg:     opt.Registry,
-		tr:      opt.Tracer,
-	}
+	s := ws.Scratch(scratchKey, newCoreState).(*state)
+	s.reset(ctx, g, th, opt, ws)
+	defer s.endRun()
 	if ctx.Done() != nil {
-		release := context.AfterFunc(ctx, func() { s.stop.Store(true) })
+		release := context.AfterFunc(ctx, s.fnSetStop)
 		defer release()
-	}
-	// Kernel telemetry rides on the same per-worker blocks as the CompSim
-	// counters; a nop registry keeps kernels on the uninstrumented path.
-	s.kernelOn = s.reg.Enabled()
-	if s.reg.Enabled() || s.tr != nil {
-		s.sm = &schedInstruments{
-			tasks:  s.reg.Counter(obsv.MetricSchedTasks),
-			degSum: s.reg.Histogram(obsv.MetricSchedTaskDegreeSum),
-			verts:  s.reg.Histogram(obsv.MetricSchedTaskVertices),
-			wait:   s.reg.Histogram(obsv.MetricSchedQueueWaitNs),
-			busy:   s.reg.Sharded(obsv.MetricSchedWorkerBusyNs, opt.Workers),
-		}
 	}
 	if s.tr != nil {
 		s.tr.SetProcessName("ppscan")
@@ -149,91 +156,71 @@ func RunContext(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt Op
 			s.tr.SetThreadName(w+1, fmt.Sprintf("worker-%d", w))
 		}
 	}
-
-	var phaseTimes [result.NumPhases]time.Duration
-
-	// abort folds the per-worker counters into a partial Stats and wraps
-	// them in a PartialError naming the phase that observed cancellation.
-	abort := func(phase string) (*result.Result, error) {
-		calls, byPhase, kern := s.fold()
-		s.reg.Counter(obsv.MetricCoreCancels).Inc()
-		return nil, &result.PartialError{
-			Stats: result.Stats{
-				Algorithm:      "ppSCAN",
-				Workers:        opt.Workers,
-				CompSimCalls:   calls,
-				CompSimByPhase: byPhase,
-				Kernel:         kern,
-				PhaseTimes:     phaseTimes,
-				Total:          time.Since(start),
-			},
-			Phase: phase,
-			Err:   context.Cause(ctx),
-		}
-	}
+	n := g.NumVertices()
 
 	// --- Step 1: role computing (Algorithm 3) ---------------------------
 	t0 := time.Now()
-	s.forEach("P1 prune-sim", func(int32) bool { return true }, s.pruneSim)
-	phaseTimes[result.PhasePruning] = time.Since(t0)
+	s.forEach("P1 prune-sim", s.fnTrue, s.fnPruneSim)
+	s.phaseTimes[result.PhasePruning] = time.Since(t0)
 	if ctx.Err() != nil {
-		return abort("P1 prune-sim")
+		return s.abort("P1 prune-sim")
 	}
 
 	t0 = time.Now()
 	s.phase = result.PhaseCheckCore
-	s.forEach("P2 check-core", s.roleUnknown, s.checkCore)
+	s.forEach("P2 check-core", s.fnRoleUnknown, s.fnCheckCore)
 	if ctx.Err() != nil {
-		phaseTimes[result.PhaseCheckCore] = time.Since(t0)
-		return abort("P2 check-core")
+		s.phaseTimes[result.PhaseCheckCore] = time.Since(t0)
+		return s.abort("P2 check-core")
 	}
-	s.forEach("P3 consolidate-core", s.roleUnknown, s.consolidateCore)
-	phaseTimes[result.PhaseCheckCore] = time.Since(t0)
+	s.forEach("P3 consolidate-core", s.fnRoleUnknown, s.fnConsolidate)
+	s.phaseTimes[result.PhaseCheckCore] = time.Since(t0)
 	if ctx.Err() != nil {
-		return abort("P3 consolidate-core")
+		return s.abort("P3 consolidate-core")
 	}
 
 	// --- Step 2: core and non-core clustering (Algorithm 4) -------------
 	t0 = time.Now()
 	s.phase = result.PhaseClusterCore
-	s.forEach("P4 cluster-core", s.isCore, s.clusterCoreWithoutCompSim)
+	s.forEach("P4 cluster-core", s.fnIsCore, s.fnClusterNoCS)
 	if ctx.Err() != nil {
-		phaseTimes[result.PhaseClusterCore] = time.Since(t0)
-		return abort("P4 cluster-core")
+		s.phaseTimes[result.PhaseClusterCore] = time.Since(t0)
+		return s.abort("P4 cluster-core")
 	}
-	s.forEach("P5 cluster-core-compsim", s.isCore, s.clusterCoreWithCompSim)
+	s.forEach("P5 cluster-core-compsim", s.fnIsCore, s.fnClusterCS)
 	if ctx.Err() != nil {
-		phaseTimes[result.PhaseClusterCore] = time.Since(t0)
-		return abort("P5 cluster-core-compsim")
+		s.phaseTimes[result.PhaseClusterCore] = time.Since(t0)
+		return s.abort("P5 cluster-core-compsim")
 	}
 	// P6: cluster-id initialization with CAS (Algorithm 4, InitClusterId).
-	s.clusterID = make([]int32, n)
-	for i := range s.clusterID {
-		s.clusterID[i] = -1
-	}
-	s.forEach("P6 init-cluster-id", s.isCore, s.initClusterID)
-	phaseTimes[result.PhaseClusterCore] = time.Since(t0)
+	s.clusterID = ws.ClusterIDs(int(n))
+	s.forEach("P6 init-cluster-id", s.fnIsCore, s.fnInitCID)
+	s.phaseTimes[result.PhaseClusterCore] = time.Since(t0)
 	if ctx.Err() != nil {
-		return abort("P6 init-cluster-id")
+		return s.abort("P6 init-cluster-id")
 	}
 
-	// Materialize per-core cluster ids (read-only from here on).
-	coreClusterID := make([]int32, n)
+	// Materialize per-core cluster ids (read-only from here on). The
+	// aliasing rule between the two id arrays: clusterID is root-indexed
+	// and CAS-written during P6, coreClusterID is its vertex-indexed
+	// projection — this loop reads the former while writing the latter, so
+	// the workspace guarantees they never share a backing array (they were
+	// separate allocations before pooling for the same reason; see
+	// Workspace.CoreClusterIDs).
+	coreClusterID := ws.CoreClusterIDs(int(n)) // pre-filled with -1
 	for u := int32(0); u < n; u++ {
 		if s.roles[u] == result.RoleCore {
 			coreClusterID[u] = s.clusterID[s.uf.Find(u)]
-		} else {
-			coreClusterID[u] = -1
 		}
 	}
 	s.coreClusterID = coreClusterID
 
 	t0 = time.Now()
 	s.phase = result.PhaseClusterNonCore
-	nonCore := s.clusterNonCorePipelined()
-	phaseTimes[result.PhaseClusterNonCore] = time.Since(t0)
+	nonCore := s.clusterNonCore()
+	s.phaseTimes[result.PhaseClusterNonCore] = time.Since(t0)
 	if ctx.Err() != nil {
-		return abort("P7 cluster-non-core")
+		return s.abort("P7 cluster-non-core")
 	}
 
 	res := &result.Result{
@@ -247,15 +234,17 @@ func RunContext(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt Op
 	// Fold the per-worker instrumentation blocks into one aggregate; both
 	// result.Stats and the registry are read-outs of this single source.
 	calls, byPhase, kern := s.fold()
-	total := time.Since(start)
-	publishRun(s.reg, phaseTimes, calls, byPhase, &kern)
+	total := time.Since(s.start)
+	if s.pub != nil {
+		s.pub.publish(s.phaseTimes, calls, byPhase, &kern)
+	}
 	res.Stats = result.Stats{
 		Algorithm:      "ppSCAN",
 		Workers:        opt.Workers,
 		CompSimCalls:   calls,
 		CompSimByPhase: byPhase,
 		Kernel:         kern,
-		PhaseTimes:     phaseTimes,
+		PhaseTimes:     s.phaseTimes,
 		Total:          total,
 	}
 	return res, nil
@@ -274,30 +263,92 @@ func (s *state) fold() (calls int64, byPhase [result.NumPhases]int64, kern inter
 	return calls, byPhase, kern
 }
 
-// publishRun folds one run's aggregates into the registry under the
+// abort folds the per-worker counters into a partial Stats and wraps them
+// in a PartialError naming the phase that observed cancellation.
+func (s *state) abort(phase string) (*result.Result, error) {
+	calls, byPhase, kern := s.fold()
+	s.reg.Counter(obsv.MetricCoreCancels).Inc()
+	return nil, &result.PartialError{
+		Stats: result.Stats{
+			Algorithm:      "ppSCAN",
+			Workers:        s.opt.Workers,
+			CompSimCalls:   calls,
+			CompSimByPhase: byPhase,
+			Kernel:         kern,
+			PhaseTimes:     s.phaseTimes,
+			Total:          time.Since(s.start),
+		},
+		Phase: phase,
+		Err:   context.Cause(s.ctx),
+	}
+}
+
+// runPublisher caches every registry instrument a run publishes to —
+// including the per-phase counters whose names are concatenations — so
+// the steady-state publish path performs no string building and no
+// registry map writes.
+type runPublisher struct {
+	reg          *obsv.Registry
+	runs         *obsv.Counter
+	phaseNs      [result.NumPhases]*obsv.Counter
+	compSimPhase [result.NumPhases]*obsv.Counter
+	compSim      *obsv.Counter
+	kernCalls    *obsv.Counter
+	kernSim      *obsv.Counter
+	kernNSim     *obsv.Counter
+	kernPSim     *obsv.Counter
+	kernPNSim    *obsv.Counter
+	kernEarlyDu  *obsv.Counter
+	kernEarlyDv  *obsv.Counter
+	kernVecBlk   *obsv.Counter
+	kernScalar   *obsv.Counter
+	kernScanned  *obsv.Counter
+}
+
+func newRunPublisher(reg *obsv.Registry) *runPublisher {
+	p := &runPublisher{
+		reg:         reg,
+		runs:        reg.Counter(obsv.MetricCoreRuns),
+		compSim:     reg.Counter(obsv.MetricCompSimCalls),
+		kernCalls:   reg.Counter(obsv.MetricKernelCalls),
+		kernSim:     reg.Counter(obsv.MetricKernelSim),
+		kernNSim:    reg.Counter(obsv.MetricKernelNSim),
+		kernPSim:    reg.Counter(obsv.MetricKernelPrunedSim),
+		kernPNSim:   reg.Counter(obsv.MetricKernelPrunedNSim),
+		kernEarlyDu: reg.Counter(obsv.MetricKernelEarlyDu),
+		kernEarlyDv: reg.Counter(obsv.MetricKernelEarlyDv),
+		kernVecBlk:  reg.Counter(obsv.MetricKernelVectorBlocks),
+		kernScalar:  reg.Counter(obsv.MetricKernelScalarSteps),
+		kernScanned: reg.Counter(obsv.MetricKernelScanned),
+	}
+	for ph := result.PhaseID(0); ph < result.NumPhases; ph++ {
+		p.phaseNs[ph] = reg.Counter(obsv.MetricPhaseNsPrefix + result.PhaseNames[ph])
+		p.compSimPhase[ph] = reg.Counter(obsv.MetricCompSimPrefix + result.PhaseNames[ph])
+	}
+	return p
+}
+
+// publish folds one run's aggregates into the registry under the
 // canonical obsv.Metric* names. Counters accumulate across runs; per-run
 // values live in result.Stats.
-func publishRun(reg *obsv.Registry, phaseTimes [result.NumPhases]time.Duration,
+func (p *runPublisher) publish(phaseTimes [result.NumPhases]time.Duration,
 	calls int64, byPhase [result.NumPhases]int64, kern *intersect.Stats) {
-	if !reg.Enabled() {
-		return
+	p.runs.Inc()
+	for ph := result.PhaseID(0); ph < result.NumPhases; ph++ {
+		p.phaseNs[ph].Add(phaseTimes[ph].Nanoseconds())
+		p.compSimPhase[ph].Add(byPhase[ph])
 	}
-	reg.Counter(obsv.MetricCoreRuns).Inc()
-	for p := result.PhaseID(0); p < result.NumPhases; p++ {
-		reg.Counter(obsv.MetricPhaseNsPrefix + result.PhaseNames[p]).Add(phaseTimes[p].Nanoseconds())
-		reg.Counter(obsv.MetricCompSimPrefix + result.PhaseNames[p]).Add(byPhase[p])
-	}
-	reg.Counter(obsv.MetricCompSimCalls).Add(calls)
-	reg.Counter(obsv.MetricKernelCalls).Add(kern.Calls)
-	reg.Counter(obsv.MetricKernelSim).Add(kern.Sim)
-	reg.Counter(obsv.MetricKernelNSim).Add(kern.NSim)
-	reg.Counter(obsv.MetricKernelPrunedSim).Add(kern.PrunedSim)
-	reg.Counter(obsv.MetricKernelPrunedNSim).Add(kern.PrunedNSim)
-	reg.Counter(obsv.MetricKernelEarlyDu).Add(kern.EarlyDu)
-	reg.Counter(obsv.MetricKernelEarlyDv).Add(kern.EarlyDv)
-	reg.Counter(obsv.MetricKernelVectorBlocks).Add(kern.VectorBlocks)
-	reg.Counter(obsv.MetricKernelScalarSteps).Add(kern.ScalarSteps)
-	reg.Counter(obsv.MetricKernelScanned).Add(kern.Scanned)
+	p.compSim.Add(calls)
+	p.kernCalls.Add(kern.Calls)
+	p.kernSim.Add(kern.Sim)
+	p.kernNSim.Add(kern.NSim)
+	p.kernPSim.Add(kern.PrunedSim)
+	p.kernPNSim.Add(kern.PrunedNSim)
+	p.kernEarlyDu.Add(kern.EarlyDu)
+	p.kernEarlyDv.Add(kern.EarlyDv)
+	p.kernVecBlk.Add(kern.VectorBlocks)
+	p.kernScalar.Add(kern.ScalarSteps)
+	p.kernScanned.Add(kern.Scanned)
 }
 
 // workerState is one worker's private instrumentation block, sized and
@@ -320,12 +371,17 @@ type schedInstruments struct {
 	busy   *obsv.ShardedCounter
 }
 
+// state is the pooled per-workspace run state. One instance lives in each
+// engine.Workspace under scratchKey and is re-pointed at fresh inputs by
+// reset; the fn* fields are method values bound once at construction so
+// the per-phase scheduling calls do not allocate closures per run.
 type state struct {
 	g             *graph.Graph
 	th            simdef.Threshold
 	ctx           context.Context
 	stop          atomic.Bool // set by context.AfterFunc on cancellation
 	opt           Options
+	ws            *engine.Workspace
 	roles         []result.Role
 	sim           []int32 // simdef.EdgeSim values, accessed atomically
 	uf            *unionfind.Concurrent
@@ -335,12 +391,124 @@ type state struct {
 	reg           *obsv.Registry
 	tr            *obsv.Tracer
 	sm            *schedInstruments // nil when neither registry nor tracer observe
+	smReg         *obsv.Registry    // registry sm was built from
+	pub           *runPublisher     // nil when the registry is disabled
+	schedM        sched.Metrics     // reused per phase (field, so taking &schedM is alloc-free)
 	kernelOn      bool
+	start         time.Time
+	phaseTimes    [result.NumPhases]time.Duration
 	// phase is the stage currently attributed for CompSim counting; set by
-	// the coordinating goroutine between phases (before workers spawn, so
-	// the happens-before edge is the task submission).
+	// the coordinating goroutine between phases (before workers receive
+	// tasks, so the happens-before edge is the task submission).
 	phase result.PhaseID
+
+	// Non-core clustering batches: per-worker emission buffers flushed
+	// into collected under ncMu (all grow-only, reused across runs).
+	ncMu      sync.Mutex
+	ncLocal   [][]result.Membership
+	collected []result.Membership
+
+	// Method values and closures prebound at construction.
+	fnTrue        func(int32) bool
+	fnRoleUnknown func(int32) bool
+	fnIsCore      func(int32) bool
+	fnStop        func() bool
+	fnSetStop     func()
+	fnDegree      func(int32) int32
+	fnPruneSim    func(int32, int)
+	fnCheckCore   func(int32, int)
+	fnConsolidate func(int32, int)
+	fnClusterNoCS func(int32, int)
+	fnClusterCS   func(int32, int)
+	fnInitCID     func(int32, int)
+	fnNonCore     func(int32, int)
 }
+
+// newCoreState builds a state with its method-value closures bound once.
+func newCoreState() any {
+	s := &state{}
+	s.fnTrue = func(int32) bool { return true }
+	s.fnRoleUnknown = s.roleUnknown
+	s.fnIsCore = s.isCore
+	s.fnStop = s.stop.Load
+	s.fnSetStop = func() { s.stop.Store(true) }
+	s.fnDegree = s.degree
+	s.fnPruneSim = s.pruneSim
+	s.fnCheckCore = s.checkCore
+	s.fnConsolidate = s.consolidateCore
+	s.fnClusterNoCS = s.clusterCoreWithoutCompSim
+	s.fnClusterCS = s.clusterCoreWithCompSim
+	s.fnInitCID = s.initClusterID
+	s.fnNonCore = s.nonCoreVertex
+	return s
+}
+
+// reset points the state at a new run's inputs, re-sourcing every scratch
+// buffer from the workspace (each getter re-initializes its buffer, which
+// is the no-stale-data guarantee between runs).
+func (s *state) reset(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt Options, ws *engine.Workspace) {
+	n := int(g.NumVertices())
+	s.g, s.th, s.ctx, s.opt, s.ws = g, th, ctx, opt, ws
+	s.start = time.Now()
+	s.stop.Store(false)
+	s.roles = ws.Roles(n)
+	s.sim = ws.AtomicSim(int(g.NumDirectedEdges()))
+	s.uf = ws.ConcurrentUF(int32(n))
+	s.clusterID = nil
+	s.coreClusterID = nil
+	if cap(s.workers) < opt.Workers {
+		s.workers = make([]workerState, opt.Workers)
+	} else {
+		s.workers = s.workers[:opt.Workers]
+		for i := range s.workers {
+			s.workers[i] = workerState{}
+		}
+	}
+	s.phase = result.PhasePruning
+	s.phaseTimes = [result.NumPhases]time.Duration{}
+	if len(s.ncLocal) < opt.Workers {
+		s.ncLocal = append(s.ncLocal, make([][]result.Membership, opt.Workers-len(s.ncLocal))...)
+	}
+	for w := range s.ncLocal {
+		s.ncLocal[w] = s.ncLocal[w][:0]
+	}
+	s.collected = s.collected[:0]
+
+	// Instruments: cache the registry lookups (and the publisher's
+	// concatenated metric names) per registry, not per run.
+	s.reg, s.tr = opt.Registry, opt.Tracer
+	s.kernelOn = s.reg.Enabled()
+	if s.reg.Enabled() || s.tr != nil {
+		if s.sm == nil || s.smReg != s.reg {
+			s.sm = &schedInstruments{
+				tasks:  s.reg.Counter(obsv.MetricSchedTasks),
+				degSum: s.reg.Histogram(obsv.MetricSchedTaskDegreeSum),
+				verts:  s.reg.Histogram(obsv.MetricSchedTaskVertices),
+				wait:   s.reg.Histogram(obsv.MetricSchedQueueWaitNs),
+				busy:   s.reg.Sharded(obsv.MetricSchedWorkerBusyNs, opt.Workers),
+			}
+			s.smReg = s.reg
+		}
+	} else {
+		s.sm, s.smReg = nil, nil
+	}
+	if s.reg.Enabled() {
+		if s.pub == nil || s.pub.reg != s.reg {
+			s.pub = newRunPublisher(s.reg)
+		}
+	} else {
+		s.pub = nil
+	}
+}
+
+// endRun drops the per-run references so a pooled workspace does not pin
+// the caller's graph or context between requests.
+func (s *state) endRun() {
+	s.ctx = nil
+	s.g = nil
+}
+
+func (s *state) degree(u int32) int32 { return s.g.Degree(u) }
 
 func (s *state) loadSim(e int64) simdef.EdgeSim {
 	return simdef.EdgeSim(atomic.LoadInt32(&s.sim[e]))
@@ -351,10 +519,11 @@ func (s *state) storeSim(e int64, v simdef.EdgeSim) {
 }
 
 // forEach runs one parallel phase over all vertices satisfying need, using
-// Algorithm 5's degree-based dynamic scheduling (or static blocks for the
-// ablation). name labels the phase in the trace: the whole barrier-to-
-// barrier interval becomes a span on the coordinator track, and each
-// scheduler task a span named after the phase on its worker's track.
+// Algorithm 5's degree-based dynamic scheduling on the workspace's
+// persistent crew (or static blocks for the ablation). name labels the
+// phase in the trace: the whole barrier-to-barrier interval becomes a span
+// on the coordinator track, and each scheduler task a span named after the
+// phase on its worker's track.
 func (s *state) forEach(name string, need func(int32) bool, process func(u int32, worker int)) {
 	n := s.g.NumVertices()
 	sp := s.tr.Begin(name, 0)
@@ -372,7 +541,7 @@ func (s *state) forEach(name string, need func(int32) bool, process func(u int32
 	}
 	var m *sched.Metrics
 	if s.sm != nil {
-		m = &sched.Metrics{
+		s.schedM = sched.Metrics{
 			TasksSubmitted: s.sm.tasks,
 			TaskDegreeSum:  s.sm.degSum,
 			TaskVertices:   s.sm.verts,
@@ -382,12 +551,13 @@ func (s *state) forEach(name string, need func(int32) bool, process func(u int32
 			SpanName:       name,
 			TIDOffset:      1,
 		}
+		m = &s.schedM
 	}
-	_ = sched.ForEachVertexCtx(s.ctx, sched.Options{
+	s.ws.Crew(s.opt.Workers).ForEachVertex(sched.Options{
 		Workers:         s.opt.Workers,
 		DegreeThreshold: s.opt.DegreeThreshold,
 		Metrics:         m,
-	}, n, need, s.g.Degree, process)
+	}, n, need, s.fnDegree, process, s.fnStop)
 }
 
 func (s *state) roleUnknown(u int32) bool { return s.roles[u] == result.RoleUnknown }
@@ -578,56 +748,53 @@ func (s *state) initClusterID(u int32, worker int) {
 	}
 }
 
-// clusterNonCorePipelined is Algorithm 4 lines 24-29 with the paper's
-// pipelined design: workers emit (non-core, cluster-id) pairs into
-// per-worker batches that are flushed to a collector goroutine, overlapping
-// membership computation with the copy-back to the global array.
-func (s *state) clusterNonCorePipelined() []result.Membership {
-	g := s.g
-	batches := make(chan []result.Membership, 4*s.opt.Workers)
-	var collected []result.Membership
-	var collectorWG sync.WaitGroup
-	collectorWG.Add(1)
-	go func() {
-		defer collectorWG.Done()
-		for b := range batches {
-			collected = append(collected, b...)
-		}
-	}()
+// clusterNonCore is Algorithm 4 lines 24-29 with the paper's batched
+// design: workers emit (non-core, cluster-id) pairs into per-worker
+// buffers, flushing each full batch into the shared list under a mutex so
+// membership computation overlaps the copy-back. All buffers are pooled:
+// the per-worker batches and the collected list keep their capacity across
+// runs.
+func (s *state) clusterNonCore() []result.Membership {
+	s.forEach("P7 cluster-non-core", s.fnIsCore, s.fnNonCore)
+	for w := range s.ncLocal {
+		s.flushNonCore(w)
+	}
+	return s.collected
+}
 
-	local := make([][]result.Membership, s.opt.Workers)
-	flush := func(w int) {
-		if len(local[w]) > 0 {
-			batches <- local[w]
-			local[w] = nil
+// nonCoreVertex processes one core's adjacency in P7.
+func (s *state) nonCoreVertex(u int32, w int) {
+	g := s.g
+	id := s.coreClusterID[u]
+	uOff := g.Off[u]
+	for i, v := range g.Neighbors(u) {
+		if s.roles[v] != result.RoleNonCore {
+			continue
+		}
+		e := uOff + int64(i)
+		sim := s.loadSim(e)
+		if sim == simdef.Unknown {
+			sim = s.compSim(u, v, w)
+			s.storeSim(g.EdgeOffset(v, u), sim)
+			s.storeSim(e, sim)
+		}
+		if sim == simdef.Sim {
+			s.ncLocal[w] = append(s.ncLocal[w], result.Membership{V: v, ClusterID: id})
+			if len(s.ncLocal[w]) >= s.opt.NonCoreBatch {
+				s.flushNonCore(w)
+			}
 		}
 	}
-	s.forEach("P7 cluster-non-core", s.isCore, func(u int32, w int) {
-		id := s.coreClusterID[u]
-		uOff := g.Off[u]
-		for i, v := range g.Neighbors(u) {
-			if s.roles[v] != result.RoleNonCore {
-				continue
-			}
-			e := uOff + int64(i)
-			sim := s.loadSim(e)
-			if sim == simdef.Unknown {
-				sim = s.compSim(u, v, w)
-				s.storeSim(g.EdgeOffset(v, u), sim)
-				s.storeSim(e, sim)
-			}
-			if sim == simdef.Sim {
-				local[w] = append(local[w], result.Membership{V: v, ClusterID: id})
-				if len(local[w]) >= s.opt.NonCoreBatch {
-					flush(w)
-				}
-			}
-		}
-	})
-	for w := range local {
-		flush(w)
+}
+
+// flushNonCore drains worker w's batch into the shared list.
+func (s *state) flushNonCore(w int) {
+	b := s.ncLocal[w]
+	if len(b) == 0 {
+		return
 	}
-	close(batches)
-	collectorWG.Wait()
-	return collected
+	s.ncMu.Lock()
+	s.collected = append(s.collected, b...)
+	s.ncMu.Unlock()
+	s.ncLocal[w] = b[:0]
 }

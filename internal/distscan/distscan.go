@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"ppscan/graph"
+	"ppscan/internal/engine"
 	"ppscan/internal/intersect"
 	"ppscan/internal/result"
 	"ppscan/internal/simdef"
@@ -58,6 +59,15 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 // On cancellation it returns a *result.PartialError whose Stats carry the
 // communication bytes accumulated so far (unwrapping to ctx.Err()).
 func RunContext(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt Options) (*result.Result, error) {
+	return RunContextWorkspace(ctx, g, th, opt, nil)
+}
+
+// RunContextWorkspace is RunContext drawing the O(m) similarity array from
+// a pooled workspace; nil ws allocates per run as before. The per-run
+// partition structures (remote adjacency caches, outboxes, union-edge
+// lists) stay dynamically allocated — they model the communication the
+// surrogate exists to measure. Result slices never alias ws memory.
+func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt Options, ws *engine.Workspace) (*result.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -114,8 +124,14 @@ func RunContext(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt Op
 		}
 	}
 
-	// Per-partition state.
-	sim := make([]simdef.EdgeSim, g.NumDirectedEdges()) // each worker writes only its own vertex range
+	// Per-partition state. Each worker writes only its own vertex range of
+	// sim, so a single shared array is race-free.
+	var sim []simdef.EdgeSim
+	if ws != nil {
+		sim = ws.EdgeSims(int(g.NumDirectedEdges()))
+	} else {
+		sim = make([]simdef.EdgeSim, g.NumDirectedEdges())
+	}
 	roles := make([]result.Role, n)
 	// Remote adjacency caches: one map per partition, filled in S1.
 	remoteAdj := make([]map[int32][]int32, p)

@@ -1,0 +1,33 @@
+package distscan
+
+import (
+	"context"
+
+	"ppscan/graph"
+	"ppscan/internal/engine"
+	"ppscan/internal/intersect"
+	"ppscan/internal/result"
+	"ppscan/internal/simdef"
+)
+
+// distscanEngine adapts the partitioned BSP surrogate to the engine
+// interface. engine.Options.Workers selects the partition count, matching
+// the facade's historical contract; the surrogate has superstep
+// checkpoints, so cancellation propagates directly.
+type distscanEngine struct{}
+
+func (distscanEngine) Name() string { return "dist-scan" }
+
+func (distscanEngine) RunContext(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt engine.Options, ws *engine.Workspace) (*result.Result, error) {
+	kern := intersect.MergeEarly
+	if opt.Kernel != "" {
+		k, err := intersect.ParseKind(opt.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		kern = k
+	}
+	return RunContextWorkspace(ctx, g, th, Options{Kernel: kern, Partitions: opt.Workers}, ws)
+}
+
+func init() { engine.Register(distscanEngine{}) }

@@ -1,0 +1,104 @@
+package engine_test
+
+import (
+	"context"
+	"testing"
+
+	"ppscan/graph"
+	"ppscan/internal/engine"
+	"ppscan/internal/gen"
+	"ppscan/internal/simdef"
+)
+
+// servingBudget is the acceptance bound: a warm run on a pooled workspace
+// may perform at most this many heap allocations.
+const servingBudget = 10
+
+func benchGraph() *graph.Graph { return gen.Roll(20_000, 16, 5) }
+
+func benchThreshold(tb testing.TB) simdef.Threshold {
+	th, err := simdef.NewThreshold("0.5", 4)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return th
+}
+
+// TestServingAllocBudget is the serving-hot-path allocation gate: after
+// warmup, a ppSCAN run on a pooled workspace must stay within
+// servingBudget heap allocations (the steady-state serving criterion —
+// all O(n+m) scratch comes from the workspace).
+//
+// Skipped under -race (the race runtime allocates per instrumented
+// access); `make check` runs this test in a dedicated non-race pass.
+func TestServingAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	eng, ok := engine.Get("ppscan")
+	if !ok {
+		t.Fatal("ppscan engine not registered")
+	}
+	g := benchGraph()
+	th := benchThreshold(t)
+	opt := engine.Options{Workers: 4}
+	ws := engine.NewWorkspace()
+	defer ws.Close()
+	ctx := context.Background()
+
+	run := func() {
+		if _, err := eng.RunContext(ctx, g, th, opt, ws); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm: grow every buffer to this graph's size
+	run()
+	allocs := testing.AllocsPerRun(10, run)
+	if allocs > servingBudget {
+		t.Errorf("warm run allocates %.1f objects, budget %d", allocs, servingBudget)
+	}
+	t.Logf("warm run: %.1f allocs (budget %d)", allocs, servingBudget)
+}
+
+// BenchmarkEngineSteadyState measures the warm serving path: repeated runs
+// on one pooled workspace. Compare with BenchmarkEngineColdRun (fresh
+// workspace each run) to see the pooling win; `make bench-alloc` runs both
+// with -benchmem.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	eng, _ := engine.Get("ppscan")
+	g := benchGraph()
+	th := benchThreshold(b)
+	opt := engine.Options{Workers: 4}
+	ws := engine.NewWorkspace()
+	defer ws.Close()
+	ctx := context.Background()
+	if _, err := eng.RunContext(ctx, g, th, opt, ws); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RunContext(ctx, g, th, opt, ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineColdRun measures the unpooled path: every run pays the
+// full O(n+m) scratch allocation and scheduler startup.
+func BenchmarkEngineColdRun(b *testing.B) {
+	eng, _ := engine.Get("ppscan")
+	g := benchGraph()
+	th := benchThreshold(b)
+	opt := engine.Options{Workers: 4}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws := engine.NewWorkspace()
+		if _, err := eng.RunContext(ctx, g, th, opt, ws); err != nil {
+			b.Fatal(err)
+		}
+		ws.Close()
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package engine_test
+
+// raceEnabled reports that this binary was built with -race. The race
+// runtime instruments every allocation, which makes
+// testing.AllocsPerRun-based budgets meaningless; allocation tests skip
+// themselves under it (make check runs them in a separate non-race pass).
+const raceEnabled = true

@@ -80,4 +80,21 @@ const (
 	// holding an admission slot (compute jobs, not HTTP requests —
 	// compare http.in_flight).
 	MetricAdmissionInFlight = "admission.jobs_in_flight"
+
+	// Workspace-pool metrics (server-local, reported from engine.Pool.Stats
+	// in /metrics rather than recorded through registry instruments).
+	//
+	// MetricWorkspaceHits / MetricWorkspaceMisses count Acquire calls served
+	// from a pooled workspace vs. ones that had to allocate a fresh one.
+	MetricWorkspaceHits   = "workspace.pool.hits"
+	MetricWorkspaceMisses = "workspace.pool.misses"
+	// MetricWorkspaceDiscards counts workspaces dropped at Release because
+	// the pool was at capacity (their buffers return to the GC).
+	MetricWorkspaceDiscards = "workspace.pool.discards"
+	// MetricWorkspaceRetained gauges idle workspaces currently pooled;
+	// MetricWorkspaceRetainedBytes is the scratch memory they pin.
+	MetricWorkspaceRetained      = "workspace.pool.retained"
+	MetricWorkspaceRetainedBytes = "workspace.pool.retained_bytes"
+	// MetricWorkspaceCapacity reports the pool's retention bound.
+	MetricWorkspaceCapacity = "workspace.pool.capacity"
 )

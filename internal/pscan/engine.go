@@ -1,0 +1,32 @@
+package pscan
+
+import (
+	"context"
+
+	"ppscan/graph"
+	"ppscan/internal/engine"
+	"ppscan/internal/intersect"
+	"ppscan/internal/result"
+	"ppscan/internal/simdef"
+)
+
+// pscanEngine adapts the sequential pSCAN baseline to the engine
+// interface. pSCAN is a single uninterruptible pass, so cancellation is
+// reported after the fact via engine.FinishUninterruptible.
+type pscanEngine struct{}
+
+func (pscanEngine) Name() string { return "pscan" }
+
+func (pscanEngine) RunContext(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt engine.Options, ws *engine.Workspace) (*result.Result, error) {
+	kern := intersect.MergeEarly
+	if opt.Kernel != "" {
+		k, err := intersect.ParseKind(opt.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		kern = k
+	}
+	return engine.FinishUninterruptible(ctx, RunWorkspace(g, th, Options{Kernel: kern}, ws))
+}
+
+func init() { engine.Register(pscanEngine{}) }

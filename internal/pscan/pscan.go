@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ppscan/graph"
+	"ppscan/internal/engine"
 	"ppscan/internal/intersect"
 	"ppscan/internal/result"
 	"ppscan/internal/simdef"
@@ -69,6 +70,14 @@ type Options struct {
 
 // Run executes pSCAN on g and returns the clustering result.
 func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
+	return RunWorkspace(g, th, opt, nil)
+}
+
+// RunWorkspace is Run drawing the O(n+m) scratch (similarity labels, the
+// sd/ed bound arrays and the union-find) from a pooled workspace; nil ws
+// allocates per run as before. Result slices never alias ws memory — only
+// internal scratch is pooled here.
+func RunWorkspace(g *graph.Graph, th simdef.Threshold, opt Options, ws *engine.Workspace) *result.Result {
 	start := time.Now()
 	n := g.NumVertices()
 	s := &state{
@@ -77,10 +86,16 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 		opt:    opt,
 		timing: opt.Breakdown,
 		roles:  make([]result.Role, n),
-		sim:    make([]simdef.EdgeSim, g.NumDirectedEdges()),
-		sd:     make([]int32, n),
-		ed:     make([]int32, n),
-		uf:     unionfind.NewSequential(n),
+	}
+	if ws != nil {
+		s.sim = ws.EdgeSims(int(g.NumDirectedEdges()))
+		s.sd, s.ed = ws.Bounds(int(n))
+		s.uf = ws.SequentialUF(n)
+	} else {
+		s.sim = make([]simdef.EdgeSim, g.NumDirectedEdges())
+		s.sd = make([]int32, n)
+		s.ed = make([]int32, n)
+		s.uf = unionfind.NewSequential(n)
 	}
 	for u := int32(0); u < n; u++ {
 		s.ed[u] = g.Degree(u)

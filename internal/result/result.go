@@ -12,6 +12,7 @@ package result
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -132,13 +133,15 @@ type Result struct {
 }
 
 // Normalize sorts and deduplicates the non-core membership list in place.
-// Algorithms call it once before returning.
+// Algorithms call it once before returning. slices.SortFunc (not
+// sort.Slice) keeps the call allocation-free, which the pooled serving
+// hot path depends on.
 func (r *Result) Normalize() {
-	sort.Slice(r.NonCore, func(i, j int) bool {
-		if r.NonCore[i].V != r.NonCore[j].V {
-			return r.NonCore[i].V < r.NonCore[j].V
+	slices.SortFunc(r.NonCore, func(a, b Membership) int {
+		if a.V != b.V {
+			return int(a.V) - int(b.V)
 		}
-		return r.NonCore[i].ClusterID < r.NonCore[j].ClusterID
+		return int(a.ClusterID) - int(b.ClusterID)
 	})
 	out := r.NonCore[:0]
 	for i, m := range r.NonCore {
@@ -147,6 +150,22 @@ func (r *Result) Normalize() {
 		}
 	}
 	r.NonCore = out
+}
+
+// Clone returns a deep copy of r whose slices share no memory with the
+// original. Runs executed on a pooled workspace return results that alias
+// workspace buffers (valid only until the workspace's next run); Clone is
+// how callers — the server's response cache, conformance suites comparing
+// across runs — retain such a result.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	c.Roles = slices.Clone(r.Roles)
+	c.CoreClusterID = slices.Clone(r.CoreClusterID)
+	c.NonCore = slices.Clone(r.NonCore)
+	return &c
 }
 
 // NumCores returns the number of core vertices.

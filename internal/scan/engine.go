@@ -1,0 +1,31 @@
+package scan
+
+import (
+	"context"
+
+	"ppscan/graph"
+	"ppscan/internal/engine"
+	"ppscan/internal/intersect"
+	"ppscan/internal/result"
+	"ppscan/internal/simdef"
+)
+
+// scanEngine adapts the exhaustive sequential SCAN baseline to the engine
+// interface (single uninterruptible pass).
+type scanEngine struct{}
+
+func (scanEngine) Name() string { return "scan" }
+
+func (scanEngine) RunContext(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt engine.Options, ws *engine.Workspace) (*result.Result, error) {
+	kern := intersect.Merge
+	if opt.Kernel != "" {
+		k, err := intersect.ParseKind(opt.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		kern = k
+	}
+	return engine.FinishUninterruptible(ctx, RunWorkspace(g, th, Options{Kernel: kern}, ws))
+}
+
+func init() { engine.Register(scanEngine{}) }

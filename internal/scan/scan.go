@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ppscan/graph"
+	"ppscan/internal/engine"
 	"ppscan/internal/intersect"
 	"ppscan/internal/result"
 	"ppscan/internal/simdef"
@@ -30,6 +31,13 @@ type Options struct {
 // Run executes SCAN on g with the given threshold and returns the
 // clustering result.
 func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
+	return RunWorkspace(g, th, opt, nil)
+}
+
+// RunWorkspace is Run drawing the O(m) similarity cache from a pooled
+// workspace; nil ws allocates per run as before. Result slices never
+// alias ws memory.
+func RunWorkspace(g *graph.Graph, th simdef.Threshold, opt Options, ws *engine.Workspace) *result.Result {
 	start := time.Now()
 	n := g.NumVertices()
 	s := &state{
@@ -37,7 +45,11 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 		th:    th,
 		opt:   opt,
 		roles: make([]result.Role, n),
-		sim:   make([]simdef.EdgeSim, g.NumDirectedEdges()),
+	}
+	if ws != nil {
+		s.sim = ws.EdgeSims(int(g.NumDirectedEdges()))
+	} else {
+		s.sim = make([]simdef.EdgeSim, g.NumDirectedEdges())
 	}
 	res := &result.Result{
 		Eps:           th.Eps.String(),

@@ -1,0 +1,31 @@
+package scanpp
+
+import (
+	"context"
+
+	"ppscan/graph"
+	"ppscan/internal/engine"
+	"ppscan/internal/intersect"
+	"ppscan/internal/result"
+	"ppscan/internal/simdef"
+)
+
+// scanppEngine adapts the SCAN++-style sequential baseline to the engine
+// interface (single uninterruptible pass).
+type scanppEngine struct{}
+
+func (scanppEngine) Name() string { return "scan++" }
+
+func (scanppEngine) RunContext(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt engine.Options, ws *engine.Workspace) (*result.Result, error) {
+	kern := intersect.MergeEarly
+	if opt.Kernel != "" {
+		k, err := intersect.ParseKind(opt.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		kern = k
+	}
+	return engine.FinishUninterruptible(ctx, RunWorkspace(g, th, Options{Kernel: kern}, ws))
+}
+
+func init() { engine.Register(scanppEngine{}) }

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"ppscan/graph"
+	"ppscan/internal/engine"
 	"ppscan/internal/intersect"
 	"ppscan/internal/result"
 	"ppscan/internal/simdef"
@@ -41,19 +42,38 @@ type Options struct {
 
 // Run executes the SCAN++ baseline on g.
 func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
+	return RunWorkspace(g, th, opt, nil)
+}
+
+// RunWorkspace is Run drawing the linear scratch (similarity cache, sweep
+// flags, the union-find and the root-indexed cluster-id array) from a
+// pooled workspace; nil ws allocates per run as before. The per-pivot
+// DTAR maps stay dynamically allocated — that overhead is the documented
+// modeled behavior of SCAN++. Result slices never alias ws memory.
+func RunWorkspace(g *graph.Graph, th simdef.Threshold, opt Options, ws *engine.Workspace) *result.Result {
 	start := time.Now()
 	n := g.NumVertices()
 	s := &state{
 		g:     g,
 		th:    th,
 		opt:   opt,
-		sim:   make([]simdef.EdgeSim, g.NumDirectedEdges()),
 		roles: make([]result.Role, n),
+	}
+	if ws != nil {
+		s.sim = ws.EdgeSims(int(g.NumDirectedEdges()))
+	} else {
+		s.sim = make([]simdef.EdgeSim, g.NumDirectedEdges())
 	}
 
 	// Pivot sweep: expand pivots through two-hop (DTAR) frontiers.
-	processed := make([]bool, n)
-	inQueue := make([]bool, n)
+	var processed, inQueue []bool
+	if ws != nil {
+		processed = ws.Flags(int(n))
+		inQueue = ws.Flags2(int(n))
+	} else {
+		processed = make([]bool, n)
+		inQueue = make([]bool, n)
+	}
 	var queue []int32
 	for seed := int32(0); seed < n; seed++ {
 		if processed[seed] {
@@ -99,7 +119,12 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 	// Finalization: every vertex was processed as a pivot (the sweep's
 	// outer loop guarantees it), so all roles are known; cluster exactly
 	// as SCAN defines.
-	uf := unionfind.NewSequential(n)
+	var uf *unionfind.Sequential
+	if ws != nil {
+		uf = ws.SequentialUF(n)
+	} else {
+		uf = unionfind.NewSequential(n)
+	}
 	for u := int32(0); u < n; u++ {
 		if s.roles[u] != result.RoleCore {
 			continue
@@ -111,10 +136,17 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 			}
 		}
 	}
-	clusterID := make([]int32, n)
+	var clusterID []int32
+	if ws != nil {
+		clusterID = ws.ClusterIDs(int(n)) // pre-filled with -1
+	} else {
+		clusterID = make([]int32, n)
+		for i := range clusterID {
+			clusterID[i] = -1
+		}
+	}
 	coreClusterID := make([]int32, n)
-	for i := range clusterID {
-		clusterID[i] = -1
+	for i := range coreClusterID {
 		coreClusterID[i] = -1
 	}
 	for u := int32(0); u < n; u++ {

@@ -1,0 +1,31 @@
+package scanxp
+
+import (
+	"context"
+
+	"ppscan/graph"
+	"ppscan/internal/engine"
+	"ppscan/internal/intersect"
+	"ppscan/internal/result"
+	"ppscan/internal/simdef"
+)
+
+// scanxpEngine adapts the parallel exhaustive SCAN-XP baseline to the
+// engine interface (no internal checkpoints).
+type scanxpEngine struct{}
+
+func (scanxpEngine) Name() string { return "scan-xp" }
+
+func (scanxpEngine) RunContext(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt engine.Options, ws *engine.Workspace) (*result.Result, error) {
+	kern := intersect.Merge
+	if opt.Kernel != "" {
+		k, err := intersect.ParseKind(opt.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		kern = k
+	}
+	return engine.FinishUninterruptible(ctx, RunWorkspace(g, th, Options{Kernel: kern, Workers: opt.Workers}, ws))
+}
+
+func init() { engine.Register(scanxpEngine{}) }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"ppscan/graph"
+	"ppscan/internal/engine"
 	"ppscan/internal/intersect"
 	"ppscan/internal/result"
 	"ppscan/internal/sched"
@@ -38,12 +39,25 @@ type Options struct {
 
 // Run executes SCAN-XP on g.
 func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
+	return RunWorkspace(g, th, opt, nil)
+}
+
+// RunWorkspace is Run drawing the O(n+m) scratch (similarity labels, the
+// concurrent union-find and the per-root minimum-id array) from a pooled
+// workspace; nil ws allocates per run as before. Result slices never
+// alias ws memory.
+func RunWorkspace(g *graph.Graph, th simdef.Threshold, opt Options, ws *engine.Workspace) *result.Result {
 	if opt.Workers < 1 {
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now()
 	n := g.NumVertices()
-	sim := make([]simdef.EdgeSim, g.NumDirectedEdges())
+	var sim []simdef.EdgeSim
+	if ws != nil {
+		sim = ws.EdgeSims(int(g.NumDirectedEdges()))
+	} else {
+		sim = make([]simdef.EdgeSim, g.NumDirectedEdges())
+	}
 	roles := make([]result.Role, n)
 	counts := make([]int64, opt.Workers)
 
@@ -72,7 +86,12 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 	})
 
 	// Phase 3: parallel core clustering over similar core-core edges.
-	uf := unionfind.NewConcurrent(n)
+	var uf *unionfind.Concurrent
+	if ws != nil {
+		uf = ws.ConcurrentUF(n)
+	} else {
+		uf = unionfind.NewConcurrent(n)
+	}
 	sched.ForEachVertexStatic(opt.Workers, n, func(u int32, w int) {
 		if roles[u] != result.RoleCore {
 			return
@@ -87,10 +106,17 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 
 	// Phase 4: cluster ids and non-core memberships.
 	coreClusterID := make([]int32, n)
-	minID := make([]int32, n)
-	for i := range minID {
-		minID[i] = -1
+	for i := range coreClusterID {
 		coreClusterID[i] = -1
+	}
+	var minID []int32
+	if ws != nil {
+		minID = ws.ClusterIDs(int(n)) // pre-filled with -1
+	} else {
+		minID = make([]int32, n)
+		for i := range minID {
+			minID[i] = -1
+		}
 	}
 	for u := int32(0); u < n; u++ {
 		if roles[u] == result.RoleCore {

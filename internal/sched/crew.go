@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Crew is a persistent worker pool running Algorithm 5's degree-based
+// dynamic scheduling. Unlike Pool — which is created and joined once per
+// phase — a Crew's goroutines live across phases and across runs, so a
+// pooled workspace can execute an arbitrary number of clustering requests
+// without spawning (or heap-allocating) anything per phase. It is the
+// scheduler half of the zero-allocation serving path.
+//
+// Usage: create once with NewCrew, call ForEachVertex once per phase
+// (phases run one at a time; the call is the barrier), Close when the
+// owning workspace is discarded.
+//
+// Synchronization: the coordinator writes the per-phase fields (need,
+// process, stop, m) before submitting any task; workers read them only
+// after receiving a task from the channel, so the channel send/receive is
+// the happens-before edge. Between phases workers are parked on the channel
+// receive and read nothing, making the coordinator's next writes safe.
+type Crew struct {
+	workers int
+	tasks   chan crewTask
+	wg      sync.WaitGroup
+
+	// Per-phase state; see the synchronization note above.
+	need    func(int32) bool
+	process func(u int32, worker int)
+	stop    func() bool
+	m       *Metrics
+}
+
+// crewTask mirrors task; a distinct type keeps the two pools' channels
+// independent.
+type crewTask struct {
+	r        Range
+	deg      int64
+	submitAt time.Time
+}
+
+// NewCrew starts workers goroutines (< 1 means GOMAXPROCS) that serve
+// ForEachVertex calls until Close.
+func NewCrew(workers int) *Crew {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	c := &Crew{workers: workers, tasks: make(chan crewTask, 4*workers)}
+	for w := 0; w < workers; w++ {
+		go c.work(w)
+	}
+	return c
+}
+
+// Workers returns the crew's worker count.
+func (c *Crew) Workers() int { return c.workers }
+
+// Close stops the workers. The crew must be idle (no ForEachVertex in
+// progress); calling ForEachVertex after Close panics.
+func (c *Crew) Close() { close(c.tasks) }
+
+// ForEachVertex runs one phase: process(u, worker) for every u in [0, n)
+// with need(u) true at processing time, scheduled per Algorithm 5 with
+// opt.DegreeThreshold granularity (opt.Workers is ignored — the crew's own
+// worker count applies). stop, when non-nil, is polled by the coordinator
+// once per submission and every 8192 vertices, and by workers once per
+// task: when it reports true, remaining tasks drain without running, giving
+// the same cancellation granularity as ForEachVertexCtx. The call blocks
+// until every submitted task completed (the paper's JoinThreadPool
+// barrier). Only one ForEachVertex may run at a time per crew.
+func (c *Crew) ForEachVertex(opt Options, n int32, need func(int32) bool, deg func(int32) int32, process func(u int32, worker int), stop func() bool) {
+	if n <= 0 {
+		return
+	}
+	threshold := opt.DegreeThreshold
+	if threshold < 1 {
+		threshold = DefaultDegreeThreshold
+	}
+	c.need, c.process, c.stop, c.m = need, process, stop, opt.Metrics
+
+	var degSum int64
+	beg := int32(0)
+	canceled := false
+	for u := int32(0); u < n; u++ {
+		if u&8191 == 0 && stop != nil && stop() {
+			canceled = true
+			break
+		}
+		if !need(u) {
+			continue
+		}
+		degSum += int64(deg(u))
+		if degSum > threshold {
+			c.submit(Range{Beg: beg, End: u + 1}, degSum)
+			degSum = 0
+			beg = u + 1
+			if stop != nil && stop() {
+				canceled = true
+				break
+			}
+		}
+	}
+	if !canceled {
+		c.submit(Range{Beg: beg, End: n}, degSum)
+	}
+	c.wg.Wait()
+}
+
+// submit enqueues one range task. wg.Add happens before the send so the
+// coordinator's Wait covers every queued task.
+func (c *Crew) submit(r Range, deg int64) {
+	if r.Beg >= r.End {
+		return
+	}
+	t := crewTask{r: r, deg: deg}
+	if m := c.m; m != nil {
+		m.TasksSubmitted.Inc()
+		m.TaskDegreeSum.Observe(deg)
+		m.TaskVertices.Observe(int64(r.End - r.Beg))
+		if m.timed() {
+			t.submitAt = time.Now()
+		}
+	}
+	c.wg.Add(1)
+	c.tasks <- t
+}
+
+func (c *Crew) work(worker int) {
+	for t := range c.tasks {
+		if stop := c.stop; stop != nil && stop() {
+			c.wg.Done() // drain without running
+			continue
+		}
+		if m := c.m; m.timed() {
+			start := time.Now()
+			m.QueueWaitNs.Observe(start.Sub(t.submitAt).Nanoseconds())
+			sp := m.Tracer.Begin(m.spanName(), m.TIDOffset+worker)
+			c.runRange(t.r, worker)
+			if m.Tracer != nil {
+				sp.EndArgs(map[string]any{
+					"beg": t.r.Beg, "end": t.r.End, "deg": t.deg,
+				})
+			}
+			m.WorkerBusyNs.Add(worker, time.Since(start).Nanoseconds())
+		} else {
+			c.runRange(t.r, worker)
+		}
+		c.wg.Done()
+	}
+}
+
+func (c *Crew) runRange(r Range, worker int) {
+	need, process := c.need, c.process
+	for u := r.Beg; u < r.End; u++ {
+		if need(u) {
+			process(u, worker)
+		}
+	}
+}

@@ -23,11 +23,11 @@ func blockingServer(t *testing.T, maxInflight int, timeout time.Duration) (s *Se
 	started = make(chan struct{}, 16)
 	s = New(testGraph(t), 2).WithAdmission(maxInflight, timeout)
 	real := s.runFn
-	s.runFn = func(ctx context.Context, opt ppscan.Options) (*ppscan.Result, error) {
+	s.runFn = func(ctx context.Context, opt ppscan.Options, ws *ppscan.Workspace) (*ppscan.Result, error) {
 		started <- struct{}{}
 		select {
 		case <-release:
-			return real(context.Background(), opt)
+			return real(context.Background(), opt, ws)
 		case <-ctx.Done():
 			return nil, &ppscan.PartialError{Phase: "P1 prune-sim", Err: context.Cause(ctx)}
 		}
@@ -95,7 +95,7 @@ func TestAdmissionDegradesToCache(t *testing.T) {
 	// that blocks until we release it.
 	started := make(chan struct{})
 	block := make(chan struct{})
-	s.runFn = func(ctx context.Context, opt ppscan.Options) (*ppscan.Result, error) {
+	s.runFn = func(ctx context.Context, opt ppscan.Options, ws *ppscan.Workspace) (*ppscan.Result, error) {
 		close(started)
 		<-block
 		return nil, context.Canceled

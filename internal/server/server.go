@@ -54,9 +54,15 @@ type Server struct {
 	g       *graph.Graph
 	ix      *ppscan.Index
 	workers int
-	reg     *obsv.Registry // server-local: HTTP and cache metrics
-	logger  *log.Logger    // nil disables request logging
+	algo    ppscan.Algorithm // default when the request omits algo=
+	reg     *obsv.Registry   // server-local: HTTP and cache metrics
+	logger  *log.Logger      // nil disables request logging
 	start   time.Time
+
+	// pool caches one workspace per in-flight computation so steady-state
+	// serving reuses the O(n+m) scratch buffers instead of reallocating
+	// them per request. Sized to the admission bound (see WithAdmission).
+	pool *ppscan.WorkspacePool
 
 	// Admission control (see WithAdmission). sem is nil when in-flight
 	// computations are unbounded; reqTimeout is zero when requests have no
@@ -66,10 +72,12 @@ type Server struct {
 	reqTimeout time.Duration
 	draining   atomic.Bool
 
-	// runFn performs one direct clustering computation. It exists as a
-	// test seam (admission tests substitute a controllable function);
-	// production servers always use ppscan.RunContext.
-	runFn func(ctx context.Context, opt ppscan.Options) (*ppscan.Result, error)
+	// runFn performs one direct clustering computation on a pooled
+	// workspace. It exists as a test seam (admission tests substitute a
+	// controllable function); production servers always use
+	// ppscan.RunWorkspace. The returned result may alias ws — resolve
+	// clones it before the workspace is released.
+	runFn func(ctx context.Context, opt ppscan.Options, ws *ppscan.Workspace) (*ppscan.Result, error)
 
 	mu    sync.Mutex
 	cache *lruCache
@@ -88,10 +96,11 @@ func New(g *graph.Graph, workers int) *Server {
 		workers: workers,
 		reg:     obsv.New(),
 		start:   time.Now(),
+		pool:    ppscan.NewWorkspacePool(0),
 		cache:   newLRU(DefaultCacheSize),
 	}
-	s.runFn = func(ctx context.Context, opt ppscan.Options) (*ppscan.Result, error) {
-		return ppscan.RunContext(ctx, s.g, opt)
+	s.runFn = func(ctx context.Context, opt ppscan.Options, ws *ppscan.Workspace) (*ppscan.Result, error) {
+		return ppscan.RunWorkspace(ctx, s.g, opt, ws)
 	}
 	// Pre-register the admission counters so /metrics shows zeros before
 	// the first rejection instead of omitting the keys.
@@ -142,6 +151,9 @@ func (s *Server) WithLogging(l *log.Logger) *Server {
 func (s *Server) WithAdmission(maxInflight int, requestTimeout time.Duration) *Server {
 	if maxInflight > 0 {
 		s.sem = make(chan struct{}, maxInflight)
+		// With at most maxInflight computations running, retaining more
+		// idle workspaces than that only pins memory.
+		s.pool = ppscan.NewWorkspacePool(maxInflight)
 	} else {
 		s.sem = nil
 	}
@@ -149,6 +161,14 @@ func (s *Server) WithAdmission(maxInflight int, requestTimeout time.Duration) *S
 		requestTimeout = 0
 	}
 	s.reqTimeout = requestTimeout
+	return s
+}
+
+// WithAlgorithm sets the algorithm used when a request omits the algo
+// query parameter (default ppscan.AlgoPPSCAN). The name must be a
+// registered backend — see ppscan.EngineNames.
+func (s *Server) WithAlgorithm(algo ppscan.Algorithm) *Server {
+	s.algo = algo
 	return s
 }
 
@@ -248,6 +268,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	out["server.draining"] = s.draining.Load()
 	out["admission.max_inflight"] = cap(s.sem) // 0 = unlimited
 	out["admission.request_timeout_ns"] = s.reqTimeout.Nanoseconds()
+	ps := s.pool.Stats()
+	out[obsv.MetricWorkspaceHits] = ps.Hits
+	out[obsv.MetricWorkspaceMisses] = ps.Misses
+	out[obsv.MetricWorkspaceDiscards] = ps.Discards
+	out[obsv.MetricWorkspaceRetained] = ps.Retained
+	out[obsv.MetricWorkspaceRetainedBytes] = ps.RetainedBytes
+	out[obsv.MetricWorkspaceCapacity] = ps.Capacity
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -285,6 +312,9 @@ func (s *Server) params(r *http.Request) (eps string, mu int, algo ppscan.Algori
 		return "", 0, "", fmt.Errorf("bad mu %q", muStr)
 	}
 	algo = ppscan.Algorithm(q.Get("algo"))
+	if algo == "" {
+		algo = s.algo
+	}
 	if algo == "" {
 		algo = ppscan.AlgoPPSCAN
 	}
@@ -354,12 +384,19 @@ func (s *Server) resolve(ctx context.Context, eps string, mu int, algo ppscan.Al
 	if s.ix != nil {
 		return s.queryIndex(key, eps, mu)
 	}
+	ws := s.pool.Acquire(int(s.g.NumVertices()), int(s.g.NumEdges()))
 	res, err := s.runFn(ctx, ppscan.Options{
 		Algorithm: algo, Epsilon: eps, Mu: mu, Workers: s.workers,
-	})
+	}, ws)
 	if err != nil {
+		s.pool.Release(ws)
 		return nil, err // classified by writeResolveError
 	}
+	// The result may alias ws scratch, which the next request will reuse:
+	// detach it before the workspace goes back to the pool. The clone is
+	// what the cache retains and all readers see.
+	res = res.Clone()
+	s.pool.Release(ws)
 	s.mu.Lock()
 	s.cache.add(key, res)
 	s.mu.Unlock()

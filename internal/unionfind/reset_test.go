@@ -1,0 +1,61 @@
+package unionfind
+
+import "testing"
+
+// Reset must restore singleton state while reusing grown capacity, so
+// pooled workspaces can recycle union-find structures across runs of
+// different sizes without stale-set leakage.
+
+func TestSequentialReset(t *testing.T) {
+	u := NewSequential(8)
+	u.Union(0, 7)
+	u.Union(3, 4)
+	u.Reset(8)
+	for i := int32(0); i < 8; i++ {
+		if u.Find(i) != i {
+			t.Fatalf("after Reset, Find(%d) = %d, want singleton", i, u.Find(i))
+		}
+	}
+	// Shrink: smaller domain, old unions gone, capacity reused.
+	u.Union(1, 2)
+	u.Reset(3)
+	if u.Len() != 3 {
+		t.Fatalf("Len after shrink = %d, want 3", u.Len())
+	}
+	if u.Same(1, 2) {
+		t.Fatal("stale union survived Reset")
+	}
+	// Grow past original capacity.
+	u.Reset(64)
+	if u.Len() != 64 {
+		t.Fatalf("Len after grow = %d, want 64", u.Len())
+	}
+	u.Union(10, 63)
+	if !u.Same(10, 63) {
+		t.Fatal("union broken after grow Reset")
+	}
+}
+
+func TestConcurrentReset(t *testing.T) {
+	u := NewConcurrent(8)
+	u.Union(0, 7)
+	u.Union(3, 4)
+	u.Reset(8)
+	for i := int32(0); i < 8; i++ {
+		if u.Find(i) != i {
+			t.Fatalf("after Reset, Find(%d) = %d, want singleton", i, u.Find(i))
+		}
+	}
+	u.Reset(3)
+	if u.Len() != 3 {
+		t.Fatalf("Len after shrink = %d, want 3", u.Len())
+	}
+	u.Reset(64)
+	u.Union(10, 63)
+	if !u.Same(10, 63) {
+		t.Fatal("union broken after grow Reset")
+	}
+	if got := u.Find(63); got != 10 {
+		t.Fatalf("representative = %d, want minimum member 10", got)
+	}
+}

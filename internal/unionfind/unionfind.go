@@ -16,14 +16,26 @@ type Sequential struct {
 
 // NewSequential creates a sequential union–find over n singleton elements.
 func NewSequential(n int32) *Sequential {
-	u := &Sequential{
-		parent: make([]int32, n),
-		rank:   make([]int8, n),
+	u := &Sequential{}
+	u.Reset(n)
+	return u
+}
+
+// Reset reinitializes the structure to n singleton elements, reusing the
+// backing arrays when they are large enough (grow-only, for workspace
+// pooling). Not safe for concurrent use, like every other method.
+func (u *Sequential) Reset(n int32) {
+	if int(n) > cap(u.parent) {
+		u.parent = make([]int32, n)
+		u.rank = make([]int8, n)
+	} else {
+		u.parent = u.parent[:n]
+		u.rank = u.rank[:n]
 	}
 	for i := int32(0); i < n; i++ {
 		u.parent[i] = i
+		u.rank[i] = 0
 	}
-	return u
 }
 
 // Find returns the representative of x's set, compressing the path.
@@ -83,11 +95,24 @@ type Concurrent struct {
 
 // NewConcurrent creates a concurrent union–find over n singleton elements.
 func NewConcurrent(n int32) *Concurrent {
-	u := &Concurrent{parent: make([]int32, n)}
+	u := &Concurrent{}
+	u.Reset(n)
+	return u
+}
+
+// Reset reinitializes the structure to n singleton elements, reusing the
+// backing array when it is large enough (grow-only, for workspace pooling).
+// It must only be called while no concurrent operations are in flight; the
+// caller provides the quiescence barrier (e.g. a completed run).
+func (u *Concurrent) Reset(n int32) {
+	if int(n) > cap(u.parent) {
+		u.parent = make([]int32, n)
+	} else {
+		u.parent = u.parent[:n]
+	}
 	for i := int32(0); i < n; i++ {
 		u.parent[i] = i
 	}
-	return u
 }
 
 // Find returns the representative of x's set. Wait-free: each iteration

@@ -39,17 +39,21 @@ import (
 	"io"
 
 	"ppscan/graph"
-	"ppscan/internal/anyscan"
-	"ppscan/internal/core"
-	"ppscan/internal/distscan"
+	"ppscan/internal/engine"
 	"ppscan/internal/gsindex"
 	"ppscan/internal/intersect"
-	"ppscan/internal/pscan"
 	"ppscan/internal/result"
-	"ppscan/internal/scan"
-	"ppscan/internal/scanpp"
-	"ppscan/internal/scanxp"
 	"ppscan/internal/simdef"
+
+	// Every algorithm backend registers itself with internal/engine from
+	// init; the facade resolves them by name through the registry.
+	_ "ppscan/internal/anyscan"
+	_ "ppscan/internal/core"
+	_ "ppscan/internal/distscan"
+	_ "ppscan/internal/pscan"
+	_ "ppscan/internal/scan"
+	_ "ppscan/internal/scanpp"
+	_ "ppscan/internal/scanxp"
 )
 
 // Algorithm selects which clustering algorithm to run. All algorithms
@@ -155,6 +159,19 @@ type PartialError = result.PartialError
 // cancellation after they finish); use a cancellable algorithm when serving
 // untrusted deadlines.
 func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
+	return RunWorkspace(ctx, g, opt, nil)
+}
+
+// RunWorkspace is RunContext running on a pooled workspace: the selected
+// algorithm draws its O(n+m) scratch buffers from ws and leaves them there
+// grown for the next run, so repeated runs on similar graph sizes perform
+// near-zero heap allocations. A nil ws allocates transient scratch.
+//
+// Aliasing rule: when ws is non-nil the returned Result may alias
+// workspace memory and is valid only until the next run on the same
+// workspace; call Result.Clone to retain it longer. A workspace serves one
+// run at a time — use a WorkspacePool for concurrent callers.
+func RunWorkspace(ctx context.Context, g *graph.Graph, opt Options, ws *Workspace) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -175,70 +192,57 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, erro
 	if algo == "" {
 		algo = AlgoPPSCAN
 	}
-	kernel, err := kernelFor(algo, opt.Kernel)
-	if err != nil {
-		return nil, err
+	// Validate a kernel override up front so a bad kernel name is reported
+	// even alongside a bad algorithm name (the historical error order).
+	if opt.Kernel != "" {
+		if _, err := intersect.ParseKind(opt.Kernel); err != nil {
+			return nil, err
+		}
+	}
+	eng, ok := engine.Get(string(algo))
+	if !ok {
+		return nil, fmt.Errorf("ppscan: unknown algorithm %q", algo)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("ppscan: not started: %w", err)
 	}
-	switch algo {
-	case AlgoPPSCAN, AlgoPPSCANNO:
-		res, err := core.RunContext(ctx, g, th, core.Options{
-			Kernel:           kernel,
-			Workers:          opt.Workers,
-			DegreeThreshold:  opt.DegreeThreshold,
-			StaticScheduling: opt.StaticScheduling,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if algo == AlgoPPSCANNO {
-			res.Stats.Algorithm = "ppSCAN-NO"
-		}
-		return res, nil
-	case AlgoPSCAN:
-		return finishSequential(ctx, pscan.Run(g, th, pscan.Options{Kernel: kernel}))
-	case AlgoSCAN:
-		return finishSequential(ctx, scan.Run(g, th, scan.Options{Kernel: kernel}))
-	case AlgoSCANXP:
-		return finishSequential(ctx, scanxp.Run(g, th, scanxp.Options{Kernel: kernel, Workers: opt.Workers}))
-	case AlgoAnySCAN:
-		return finishSequential(ctx, anyscan.Run(g, th, anyscan.Options{Kernel: kernel, Workers: opt.Workers}))
-	case AlgoSCANPP:
-		return finishSequential(ctx, scanpp.Run(g, th, scanpp.Options{Kernel: kernel}))
-	case AlgoDistSCAN:
-		return distscan.RunContext(ctx, g, th, distscan.Options{Kernel: kernel, Partitions: opt.Workers})
-	default:
-		return nil, fmt.Errorf("ppscan: unknown algorithm %q", opt.Algorithm)
-	}
+	return eng.RunContext(ctx, g, th, engine.Options{
+		Workers:          opt.Workers,
+		Kernel:           opt.Kernel,
+		DegreeThreshold:  opt.DegreeThreshold,
+		StaticScheduling: opt.StaticScheduling,
+	}, ws)
 }
 
-// finishSequential reports a completed baseline run, surfacing a
-// cancellation that fired while it ran (the baselines have no internal
-// checkpoints, so the result — though complete — arrived past deadline).
-func finishSequential(ctx context.Context, res *Result) (*Result, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, &PartialError{Stats: res.Stats, Phase: "completed (no checkpoints)", Err: err}
-	}
-	return res, nil
+// Workspace re-exports engine.Workspace: the pooled container for every
+// O(n+m) scratch buffer (and the persistent scheduler crew) a clustering
+// run needs. See RunWorkspace for the aliasing rule.
+type Workspace = engine.Workspace
+
+// NewWorkspace creates an empty workspace; buffers materialize on first
+// use and are retained, grow-only, for reuse. Call Close when done.
+func NewWorkspace() *Workspace {
+	return engine.NewWorkspace()
 }
 
-// kernelFor resolves the kernel override or each algorithm's default.
-func kernelFor(algo Algorithm, name string) (intersect.Kind, error) {
-	if name != "" {
-		return intersect.ParseKind(name)
-	}
-	switch algo {
-	case AlgoPPSCAN:
-		return intersect.PivotBlock16, nil
-	case AlgoPPSCANNO, AlgoPSCAN, AlgoAnySCAN, AlgoSCANPP, AlgoDistSCAN:
-		return intersect.MergeEarly, nil
-	case AlgoSCAN, AlgoSCANXP:
-		return intersect.Merge, nil
-	default:
-		return 0, fmt.Errorf("ppscan: unknown algorithm %q", algo)
-	}
+// WorkspacePool re-exports engine.Pool: a size-classed, concurrency-safe
+// cache of workspaces for serving (one workspace per in-flight request).
+type WorkspacePool = engine.Pool
+
+// WorkspacePoolStats re-exports the pool's counter snapshot.
+type WorkspacePoolStats = engine.PoolStats
+
+// NewWorkspacePool creates a pool retaining at most capacity idle
+// workspaces; capacity < 1 defaults to GOMAXPROCS.
+func NewWorkspacePool(capacity int) *WorkspacePool {
+	return engine.NewPool(capacity)
+}
+
+// EngineNames lists every registered algorithm backend, sorted. It is the
+// dynamic counterpart of Algorithms(): backends registered by packages
+// outside this module's defaults also appear here.
+func EngineNames() []string {
+	return engine.Names()
 }
 
 // Index is a GS*-Index-style precomputed structure answering any (ε, µ)
