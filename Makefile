@@ -12,7 +12,7 @@ GOVULNCHECK_VERSION  ?= v1.1.4
 STATICCHECK          := $(TOOLS_BIN)/staticcheck
 GOVULNCHECK          := $(TOOLS_BIN)/govulncheck
 
-.PHONY: build test vet race check staticcheck govulncheck bench bench-obsv bench-alloc alloc-gate
+.PHONY: build test vet race check staticcheck govulncheck scanlint lint-fix-list bench bench-obsv bench-alloc alloc-gate
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,20 @@ govulncheck:
 		echo "warning: govulncheck $(GOVULNCHECK_VERSION) unavailable (offline?); skipping" >&2 ; \
 	fi
 
+# The project-specific analyzers (internal/lint, cmd/scanlint): hot-path
+# allocation discipline, workspace aliasing, canonical metric names, loop
+# cancellation checkpoints, atomic/plain access mixing. Built from source —
+# no network needed — so it always runs, unlike the optional linters above.
+scanlint:
+	$(GO) build -o $(TOOLS_BIN)/scanlint ./cmd/scanlint
+	$(TOOLS_BIN)/scanlint ./...
+
+# Machine-readable findings for tooling/triage (exit status still reflects
+# whether findings exist; see OPERATIONS.md for the triage guide).
+lint-fix-list:
+	@$(GO) build -o $(TOOLS_BIN)/scanlint ./cmd/scanlint
+	-$(TOOLS_BIN)/scanlint -json ./...
+
 # The serving hot path must stay within its heap-allocation budget (see
 # TestServingAllocBudget). Run WITHOUT -race: the race runtime allocates
 # per instrumented access, so the test skips itself under it — this
@@ -54,7 +68,7 @@ alloc-gate:
 # The pre-merge gate: static checks, the full suite under the race
 # detector (the parallel phases, scheduler telemetry and HTTP middleware
 # are all exercised concurrently), then the non-race allocation gate.
-check: vet staticcheck govulncheck
+check: vet scanlint staticcheck govulncheck
 	$(GO) test -race ./...
 	$(MAKE) alloc-gate
 

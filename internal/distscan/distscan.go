@@ -301,17 +301,21 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 	if ctx.Err() != nil {
 		return abort("S5 clustering")
 	}
+	//lint:ctxok bounded union-merge between the S5 barrier and the next superstep check
 	for w := 0; w < p; w++ {
+		//lint:ctxok inner merge over one partition's locally gathered edges
 		for _, e := range unionEdges[w] {
 			uf.Union(e[0], e[1])
 		}
 	}
 	clusterID := make([]int32, n)
 	coreClusterID := make([]int32, n)
+	//lint:ctxok plain O(n) fill between superstep barriers
 	for i := range clusterID {
 		clusterID[i] = -1
 		coreClusterID[i] = -1
 	}
+	//lint:ctxok plain O(n) root-labeling projection between superstep barriers
 	for u := int32(0); u < n; u++ {
 		if roles[u] == result.RoleCore {
 			r := uf.Find(u)
@@ -320,6 +324,7 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 			}
 		}
 	}
+	//lint:ctxok plain O(n) projection between superstep barriers
 	for u := int32(0); u < n; u++ {
 		if roles[u] == result.RoleCore {
 			coreClusterID[u] = clusterID[uf.Find(u)]
@@ -361,6 +366,7 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 		Roles:         roles,
 		CoreClusterID: coreClusterID,
 	}
+	//lint:ctxok bounded central gather after the final superstep check
 	for w := 0; w < p; w++ {
 		res.NonCore = append(res.NonCore, members[w]...)
 	}

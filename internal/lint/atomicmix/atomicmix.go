@@ -1,0 +1,171 @@
+// Package atomicmix flags state that is accessed atomically in one place
+// and with plain loads/stores in another. The paper's lock-free design
+// (atomic similarity array, CAS'd cluster IDs, wait-free union-find) is only
+// race-free if *every* concurrent access to a field goes through sync/atomic
+// — one plain write to a CAS'd slot reintroduces exactly the data race the
+// pruning order was built to avoid, and the race detector only catches it on
+// a schedule that actually interleaves.
+//
+// Two patterns are tracked per package:
+//
+//   - scalar fields: atomic.*(&s.f, ...) anywhere makes every other plain
+//     read/write of s.f a finding;
+//   - element-atomic slices: atomic.*(&s.f[i], ...) makes plain s.f[i]
+//     reads/writes findings, while slice-header operations (len, cap, range,
+//     reassignment, re-slicing) stay legal — resizing between runs is the
+//     workspace's grow-only contract, not a data race.
+//
+// Quiescent-phase plain access (e.g. unionfind.Reset between runs) is
+// annotated //lint:atomicok <reason>.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ppscan/internal/lint/framework"
+)
+
+// Analyzer is the atomicmix analyzer.
+var Analyzer = &framework.Analyzer{
+	Name:      "atomicmix",
+	Directive: "atomicok",
+	Doc: "flags struct fields accessed via sync/atomic in one place and plain load/store " +
+		"in another; annotate quiescent-phase access with //lint:atomicok <reason>",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	scalar := map[types.Object]bool{}  // fields with atomic.*(&x.f)
+	element := map[types.Object]bool{} // fields with atomic.*(&x.f[i])
+
+	// Pass 1: collect fields the package accesses atomically.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				switch x := ast.Unparen(un.X).(type) {
+				case *ast.SelectorExpr:
+					if f := fieldObj(pass, x); f != nil {
+						scalar[f] = true
+					}
+				case *ast.IndexExpr:
+					if sel, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok {
+						if f := fieldObj(pass, sel); f != nil {
+							element[f] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(scalar) == 0 && len(element) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag plain accesses to those fields.
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f := fieldObj(pass, sel)
+			if f == nil {
+				return true
+			}
+			if scalar[f] && !isAtomicOperand(pass, stack) {
+				pass.Reportf(sel.Pos(), "plain access to field %q, which is accessed with sync/atomic elsewhere in this package", f.Name())
+				return true
+			}
+			if element[f] {
+				// Only indexed accesses race with the per-element atomics.
+				idx, ok := parentIndex(stack)
+				if !ok {
+					return true
+				}
+				if !isAtomicOperand(pass, stack) {
+					pass.Reportf(idx.Pos(), "plain element access to %q, whose elements are accessed with sync/atomic elsewhere in this package", f.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports calls into package sync/atomic (including methods on
+// atomic.Pointer etc. are irrelevant here — those types can't be accessed
+// non-atomically by construction).
+func isAtomicCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[x].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// fieldObj resolves a selector to a struct-field object.
+func fieldObj(pass *framework.Pass, sel *ast.SelectorExpr) types.Object {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// isAtomicOperand reports whether the innermost selector on the stack sits
+// under an &-operand of a sync/atomic call (stack ends at the selector).
+// A non-& argument of an atomic call (the value operand of a Store, say) is
+// still a plain access.
+func isAtomicOperand(pass *framework.Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		call, ok := stack[i].(*ast.CallExpr)
+		if !ok || !isAtomicCall(pass, call) {
+			continue
+		}
+		if i+1 < len(stack) {
+			un, ok := stack[i+1].(*ast.UnaryExpr)
+			return ok && un.Op == token.AND
+		}
+		return false
+	}
+	return false
+}
+
+// parentIndex finds the IndexExpr directly wrapping the selector at the top
+// of the stack, if any (x.f[i] — stack: ..., IndexExpr, SelectorExpr).
+func parentIndex(stack []ast.Node) (*ast.IndexExpr, bool) {
+	if len(stack) < 2 {
+		return nil, false
+	}
+	idx, ok := stack[len(stack)-2].(*ast.IndexExpr)
+	if !ok {
+		return nil, false
+	}
+	sel, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+	if !ok || ast.Unparen(idx.X) != ast.Node(sel) {
+		return nil, false
+	}
+	return idx, true
+}

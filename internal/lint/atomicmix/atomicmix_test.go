@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"ppscan/internal/lint/atomicmix"
+	"ppscan/internal/lint/framework"
+)
+
+func TestAtomicmix(t *testing.T) {
+	framework.AnalysisTest(t, "testdata", atomicmix.Analyzer, "atomicfix")
+}

@@ -1,0 +1,66 @@
+// Package atomicfix exercises the atomicmix analyzer: a field accessed via
+// sync/atomic anywhere in the package must be accessed atomically
+// everywhere (element-atomic slices still allow header operations).
+package atomicfix
+
+import "sync/atomic"
+
+type state struct {
+	hits  int64   // accessed atomically -> plain access is a finding
+	cold  int64   // never accessed atomically -> plain access is fine
+	slots []int32 // elements CAS'd -> plain element access is a finding
+}
+
+func (s *state) inc() { atomic.AddInt64(&s.hits, 1) }
+
+func (s *state) casSlot(i int) bool {
+	return atomic.CompareAndSwapInt32(&s.slots[i], -1, 0)
+}
+
+func (s *state) racyRead() int64 {
+	return s.hits // want `plain access to field "hits"`
+}
+
+func (s *state) racyWrite() {
+	s.hits = 0 // want `plain access to field "hits"`
+}
+
+func (s *state) storeOperand(other *state) {
+	atomic.StoreInt64(&s.hits, other.hits) // want `plain access to field "hits"`
+}
+
+func (s *state) racyElem(i int) int32 {
+	return s.slots[i] // want `plain element access to "slots"`
+}
+
+func (s *state) racyFill() {
+	for i := range s.slots {
+		s.slots[i] = -1 // want `plain element access to "slots"`
+	}
+}
+
+func (s *state) okAtomic() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+func (s *state) okCold() int64 {
+	s.cold++
+	return s.cold
+}
+
+// Header operations on an element-atomic slice are legal: len/cap/range and
+// re-slicing are how the grow-only workspace contract resizes between runs.
+func (s *state) okHeader(n int) int {
+	if cap(s.slots) < n {
+		s.slots = make([]int32, n)
+	}
+	s.slots = s.slots[:n]
+	return len(s.slots)
+}
+
+func (s *state) quiescentReset() {
+	for i := range s.slots {
+		//lint:atomicok quiescent between runs; no concurrent readers by contract
+		s.slots[i] = -1
+	}
+}

@@ -1,0 +1,12 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"ppscan/internal/lint/ctxloop"
+	"ppscan/internal/lint/framework"
+)
+
+func TestCtxloop(t *testing.T) {
+	framework.AnalysisTest(t, "testdata", ctxloop.Analyzer, "ctxfix")
+}

@@ -1,0 +1,110 @@
+package framework
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// toyAnalyzer flags every call to a function named flagme; it exists to
+// exercise the directive/suppression machinery without dragging in a real
+// analyzer's semantics.
+var toyAnalyzer = &Analyzer{
+	Name:      "toy",
+	Directive: "toy",
+	Doc:       "flags calls to flagme",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if ok && CalleeName(call) == "flagme" {
+					pass.Reportf(call.Pos(), "call to flagme")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestDirectiveSuppression(t *testing.T) {
+	pkg, err := loadFixture("testdata/src/directives", "directives")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := Run(pkg, []*Analyzer{toyAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var toy, malformed []Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "toy":
+			toy = append(toy, d)
+		case "lintdirective":
+			malformed = append(malformed, d)
+		default:
+			t.Errorf("unexpected analyzer %q in %s", d.Analyzer, d)
+		}
+	}
+	checkExpectations(t, pkg, toy)
+
+	if len(malformed) != 1 {
+		t.Fatalf("got %d lintdirective findings, want 1 (the bare //lint:toy): %v", len(malformed), malformed)
+	}
+	if !strings.Contains(malformed[0].Message, "missing a reason") {
+		t.Errorf("malformed-directive message = %q, want it to mention the missing reason", malformed[0].Message)
+	}
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text         string
+		name, reason string
+		ok           bool
+	}{
+		{"//lint:allowalloc grow-only buffer", "allowalloc", "grow-only buffer", true},
+		{"//lint:ctxok", "ctxok", "", true},
+		{"//lint:hotpackage", "hotpackage", "", true},
+		{"// regular comment", "", "", false},
+		{"//lint:", "", "", false},
+		{"//nolint:something", "", "", false},
+	}
+	for _, c := range cases {
+		name, reason, ok := parseDirective(c.text)
+		if name != c.name || reason != c.reason || ok != c.ok {
+			t.Errorf("parseDirective(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, name, reason, ok, c.name, c.reason, c.ok)
+		}
+	}
+}
+
+// TestLoadSelf loads this very package through the production loader,
+// proving the go list -export + gc-importer pipeline produces a complete
+// types.Info offline.
+func TestLoadSelf(t *testing.T) {
+	pkgs, err := Load(".", ".")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.ImportPath != "ppscan/internal/lint/framework" {
+		t.Errorf("ImportPath = %q", pkg.ImportPath)
+	}
+	if len(pkg.Files) == 0 || pkg.Types == nil || len(pkg.TypesInfo.Uses) == 0 {
+		t.Errorf("incomplete package: files=%d types=%v uses=%d",
+			len(pkg.Files), pkg.Types != nil, len(pkg.TypesInfo.Uses))
+	}
+	// Test files must not be analyzed: they are not part of the shipped
+	// package and routinely allocate.
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("loader included test file %s", name)
+		}
+	}
+}

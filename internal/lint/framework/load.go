@@ -1,0 +1,187 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// A Package is one fully type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Name       string
+	Error      *struct{ Err string }
+}
+
+// exportLookup resolves import paths to compiled export data produced by
+// `go list -export`. It backs a go/importer gc importer, which gives the
+// type checker complete dependency type information without source-parsing
+// (or network-fetching) anything outside the analyzed packages themselves.
+type exportLookup struct {
+	mu      sync.Mutex
+	dir     string // module root: working dir for fallback go list calls
+	exports map[string]string
+}
+
+func (l *exportLookup) lookup(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	file, ok := l.exports[path]
+	l.mu.Unlock()
+	if !ok {
+		// Not part of the initial -deps closure (e.g. a fixture importing a
+		// package no repo package depends on): ask the go tool on demand.
+		pkgs, err := goList(l.dir, "-deps", "-export", path)
+		if err != nil {
+			return nil, fmt.Errorf("no export data for %q: %v", path, err)
+		}
+		l.mu.Lock()
+		for _, p := range pkgs {
+			if p.Export != "" {
+				l.exports[p.ImportPath] = p.Export
+			}
+		}
+		file, ok = l.exports[path]
+		l.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+func goList(dir string, extra ...string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-json=ImportPath,Dir,Export,GoFiles,CgoFiles,Name,Error"}, extra...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Load resolves patterns (e.g. "./...") relative to dir and returns each
+// matched package parsed and type-checked. Test files are excluded (they are
+// not part of GoFiles), matching what ships in the binary.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	// One -deps -export run builds the whole dependency closure's export
+	// map; a second plain run identifies which packages the patterns
+	// actually name (the -deps output interleaves targets and dependencies).
+	depsArgs := append([]string{"-deps", "-export"}, patterns...)
+	all, err := goList(dir, depsArgs...)
+	if err != nil {
+		return nil, err
+	}
+	lookup := &exportLookup{dir: dir, exports: make(map[string]string, len(all))}
+	byPath := make(map[string]*listedPackage, len(all))
+	for _, p := range all {
+		byPath[p.ImportPath] = p
+		if p.Export != "" {
+			lookup.exports[p.ImportPath] = p.Export
+		}
+	}
+	targets, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup.lookup)
+	var out []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("%s: %s", t.ImportPath, t.Error.Err)
+		}
+		if t.Name == "" || len(t.GoFiles) == 0 {
+			continue // pattern matched a directory with no buildable Go files
+		}
+		if len(t.CgoFiles) > 0 {
+			continue // cgo packages need the full build pipeline; none in this repo
+		}
+		if full, ok := byPath[t.ImportPath]; ok {
+			t = full
+		}
+		pkg, err := checkPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// checkPackage parses the named files and type-checks them against the
+// shared importer.
+func checkPackage(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(goFiles))
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}

@@ -1,0 +1,31 @@
+// Package directives exercises the framework's suppression machinery via a
+// toy analyzer that flags every call to the function named "flagme".
+package directives
+
+func flagme() {}
+
+func unsuppressed() {
+	flagme() // want `call to flagme`
+}
+
+func lineSuppressed() {
+	//lint:toy this call is fine
+	flagme()
+	flagme() //lint:toy same-line directives work too
+}
+
+//lint:toy the whole function is exempt
+func funcSuppressed() {
+	flagme()
+	flagme()
+}
+
+func bareDirective() {
+	//lint:toy
+	flagme() // want `call to flagme`
+}
+
+func wrongDirective() {
+	//lint:other reason text
+	flagme() // want `call to flagme`
+}

@@ -1,0 +1,207 @@
+// Package hotalloc flags heap-allocating constructs in the repo's hot-path
+// packages. The ppSCAN serving path is budgeted at <=10 allocations per warm
+// run (TestServingAllocBudget, DESIGN.md §3a); every construct that can
+// reach the heap — make/new, append, closures, composite literals, fmt
+// calls, goroutine launches, non-constant string concatenation and interface
+// boxing — must either be absent from the per-vertex code or carry a
+// //lint:allowalloc <reason> annotation proving it is cold (setup, error,
+// or grow-only pooled paths).
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ppscan/internal/lint/framework"
+)
+
+// hotPackages are the import paths whose functions form the warm serving
+// path. Fixtures opt in with a //lint:hotpackage file directive instead.
+var hotPackages = map[string]bool{
+	"ppscan/internal/core":      true,
+	"ppscan/internal/intersect": true,
+	"ppscan/internal/sched":     true,
+	"ppscan/internal/unionfind": true,
+	"ppscan/internal/vec":       true,
+}
+
+// Analyzer is the hotalloc analyzer.
+var Analyzer = &framework.Analyzer{
+	Name:      "hotalloc",
+	Directive: "allowalloc",
+	Doc: "flags heap-allocating constructs (make/new/append/closures/composite literals/" +
+		"fmt calls/go statements/string concatenation/interface boxing) in hot-path packages; " +
+		"suppress provably cold sites with //lint:allowalloc <reason>",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if !hotPackages[pass.ImportPath] && !pass.HotPackage() {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// Package initialization runs once per process; it cannot touch
+			// the warm budget.
+			if fn.Name.Name == "init" && fn.Recv == nil {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, body ast.Node) {
+	// Parent stack so nested string concatenation ("a"+b+c) is flagged once
+	// at its outermost expression.
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		var parent ast.Node
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in hot path allocates a goroutine")
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "function literal in hot path may escape to the heap")
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal in hot path allocates")
+				}
+			}
+		case *ast.CompositeLit:
+			if lit := litKind(pass, n); lit != "" {
+				pass.Reportf(n.Pos(), "%s literal in hot path allocates", lit)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(pass, n) && !isStringConcat(pass, parent) {
+				pass.Reportf(n.Pos(), "non-constant string concatenation in hot path allocates")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins: make, new, append.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s in hot path allocates", b.Name())
+			case "append":
+				pass.Reportf(call.Pos(), "append in hot path may grow its backing array")
+			}
+			return
+		}
+	}
+
+	// Conversions: string <-> []byte/[]rune copy their data.
+	if tv, ok := pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+		if convAllocates(tv.Type, call, pass) {
+			pass.Reportf(call.Pos(), "string conversion in hot path allocates")
+			return
+		}
+		if types.IsInterface(tv.Type.Underlying()) {
+			pass.Reportf(call.Pos(), "conversion to interface type in hot path boxes its operand")
+		}
+		return
+	}
+
+	// fmt.* calls format through reflection and allocate.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[x].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				pass.Reportf(call.Pos(), "call to fmt.%s in hot path allocates", sel.Sel.Name)
+				return
+			}
+		}
+	}
+
+	// Passing concrete values through a ...interface{} parameter boxes them.
+	if sig, ok := pass.TypesInfo.TypeOf(fun).(*types.Signature); ok && sig.Variadic() && call.Ellipsis == token.NoPos {
+		last := sig.Params().At(sig.Params().Len() - 1)
+		slice, ok := last.Type().(*types.Slice)
+		if ok && types.IsInterface(slice.Elem().Underlying()) && len(call.Args) >= sig.Params().Len() {
+			pass.Reportf(call.Pos(), "variadic interface argument in hot path boxes its operands")
+		}
+	}
+}
+
+// litKind classifies composite literals that always allocate: slice and map
+// literals. Struct and array value literals stay on the stack unless they
+// escape, which the &composite and closure rules cover.
+func litKind(pass *framework.Pass, lit *ast.CompositeLit) string {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return ""
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return ""
+}
+
+func isNonConstString(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func isStringConcat(pass *framework.Pass, n ast.Node) bool {
+	be, ok := n.(*ast.BinaryExpr)
+	return ok && be.Op == token.ADD && isNonConstString(pass, be)
+}
+
+// convAllocates reports string([]byte), []byte(string) and friends.
+func convAllocates(target types.Type, call *ast.CallExpr, pass *framework.Pass) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	src, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return false
+	}
+	toString := isBasicString(target)
+	fromString := isBasicString(src.Type)
+	toSlice := isByteOrRuneSlice(target)
+	fromSlice := isByteOrRuneSlice(src.Type)
+	return (toString && fromSlice) || (toSlice && fromString)
+}
+
+func isBasicString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"ppscan/internal/lint/framework"
+	"ppscan/internal/lint/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	framework.AnalysisTest(t, "testdata", hotalloc.Analyzer, "hot", "cold")
+}

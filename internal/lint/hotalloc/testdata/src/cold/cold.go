@@ -1,0 +1,13 @@
+// Package cold is not marked //lint:hotpackage and has a non-hot import
+// path, so hotalloc must report nothing here at all.
+package cold
+
+import "fmt"
+
+func Allocates(n int) []int {
+	s := make([]int, n)
+	s = append(s, n)
+	fmt.Println(s)
+	go func() {}()
+	return s
+}

@@ -1,0 +1,66 @@
+//lint:hotpackage
+package hot
+
+import "fmt"
+
+func builtins(n int) []int {
+	s := make([]int, n) // want `make in hot path allocates`
+	s = append(s, 1)    // want `append in hot path may grow its backing array`
+	p := new(int)       // want `new in hot path allocates`
+	_ = p
+	fmt.Println(n) // want `call to fmt.Println in hot path allocates`
+	return s
+}
+
+func closure(x int) func() int {
+	return func() int { return x } // want `function literal in hot path may escape to the heap`
+}
+
+type point struct{ x, y int }
+
+func literals(a, b string) string {
+	_ = &point{1, 2}     // want `&composite literal in hot path allocates`
+	_ = []int{1, 2}      // want `slice literal in hot path allocates`
+	_ = map[string]int{} // want `map literal in hot path allocates`
+	return a + b         // want `non-constant string concatenation in hot path allocates`
+}
+
+func box(v int) any {
+	return any(v) // want `conversion to interface type in hot path boxes its operand`
+}
+
+func sink(args ...any) {}
+
+func variadic(x int) {
+	sink(x) // want `variadic interface argument in hot path boxes its operands`
+}
+
+func spawn() {
+	go spawn() // want `go statement in hot path allocates a goroutine`
+}
+
+func conv(b []byte) string {
+	return string(b) // want `string conversion in hot path allocates`
+}
+
+// constant folding keeps this out: the concatenation happens at compile
+// time, and the struct value literal stays on the stack.
+func clean(n int) int {
+	const prefix = "a" + "b"
+	pt := point{n, n}
+	return len(prefix) + pt.x
+}
+
+//lint:allowalloc setup-only helper, called once per process
+func funcScoped(n int) []int {
+	return make([]int, n)
+}
+
+func lineScoped(n int) []int {
+	//lint:allowalloc cold resize path, amortized away by pooling
+	return make([]int, n)
+}
+
+func init() {
+	_ = make([]int, 8) // init runs once per process: exempt
+}

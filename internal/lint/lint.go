@@ -1,0 +1,25 @@
+// Package lint aggregates the project's custom analyzers. Each analyzer
+// pins one invariant the serving stack's correctness rests on; DESIGN.md
+// "Enforced invariants" documents the rules and their escape hatches, and
+// cmd/scanlint is the multichecker CI and humans share.
+package lint
+
+import (
+	"ppscan/internal/lint/atomicmix"
+	"ppscan/internal/lint/ctxloop"
+	"ppscan/internal/lint/framework"
+	"ppscan/internal/lint/hotalloc"
+	"ppscan/internal/lint/metricname"
+	"ppscan/internal/lint/wsalias"
+)
+
+// All returns every analyzer in stable order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		hotalloc.Analyzer,
+		wsalias.Analyzer,
+		metricname.Analyzer,
+		ctxloop.Analyzer,
+		atomicmix.Analyzer,
+	}
+}

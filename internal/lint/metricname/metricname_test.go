@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"ppscan/internal/lint/framework"
+	"ppscan/internal/lint/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	framework.AnalysisTest(t, "testdata", metricname.Analyzer, "metricfix")
+}

@@ -1,0 +1,12 @@
+package wsalias_test
+
+import (
+	"testing"
+
+	"ppscan/internal/lint/framework"
+	"ppscan/internal/lint/wsalias"
+)
+
+func TestWsalias(t *testing.T) {
+	framework.AnalysisTest(t, "testdata", wsalias.Analyzer, "wsfix")
+}

@@ -97,4 +97,25 @@ const (
 	MetricWorkspaceRetainedBytes = "workspace.pool.retained_bytes"
 	// MetricWorkspaceCapacity reports the pool's retention bound.
 	MetricWorkspaceCapacity = "workspace.pool.capacity"
+
+	// Process/runtime gauges reported by the server's /metrics handler
+	// (computed at read time from runtime.MemStats etc., not recorded
+	// through registry instruments).
+	MetricRuntimeGoroutines = "runtime.goroutines"
+	MetricRuntimeHeapAlloc  = "runtime.heap_alloc_bytes"
+	MetricRuntimeNumGC      = "runtime.num_gc"
+
+	// Graph shape gauges for the served graph.
+	MetricGraphVertices = "graph.vertices"
+	MetricGraphEdges    = "graph.edges"
+
+	// Server lifecycle gauges.
+	MetricServerIndexed  = "server.indexed"
+	MetricServerUptimeNs = "server.uptime_ns"
+	MetricServerDraining = "server.draining"
+
+	// Admission configuration, echoed so dashboards can normalize the
+	// admission.* counters against the configured limits.
+	MetricAdmissionMaxInflight      = "admission.max_inflight"
+	MetricAdmissionRequestTimeoutNs = "admission.request_timeout_ns"
 )

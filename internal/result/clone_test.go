@@ -1,0 +1,133 @@
+package result
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestCloneDetachesEveryField is the runtime twin of the wsalias analyzer:
+// results from pooled workspaces alias workspace memory, and Clone is the
+// only sanctioned way to let one outlive its workspace's release. The test
+// populates *every* field of Result via reflection (so a field added in the
+// future is covered automatically), clones, and then checks (a) value
+// equality and (b) that no slice, map or pointer reachable from the clone
+// shares memory with the original. Adding a reference-typed field to Result
+// (or Stats) without detaching it in Clone fails here before it can corrupt
+// a cached response.
+func TestCloneDetachesEveryField(t *testing.T) {
+	var orig Result
+	seed := 0
+	fill(t, reflect.ValueOf(&orig).Elem(), "Result", &seed)
+
+	clone := orig.Clone()
+
+	if !reflect.DeepEqual(&orig, clone) {
+		t.Fatalf("Clone is not value-equal to the original:\norig:  %+v\nclone: %+v", orig, *clone)
+	}
+	assertDetached(t, "Result", reflect.ValueOf(orig), reflect.ValueOf(*clone))
+}
+
+func TestCloneNil(t *testing.T) {
+	if c := (*Result)(nil).Clone(); c != nil {
+		t.Fatalf("(*Result)(nil).Clone() = %v, want nil", c)
+	}
+}
+
+// fill sets v to a non-zero value, descending into structs, slices, arrays,
+// maps and pointers. Each scalar gets a distinct value so swapped or merged
+// fields can't cancel out in the equality check.
+func fill(t *testing.T, v reflect.Value, path string, seed *int) {
+	t.Helper()
+	if !v.CanSet() && v.Kind() != reflect.Struct && v.Kind() != reflect.Array {
+		t.Fatalf("%s: cannot set field (unexported?); Clone completeness cannot be verified for it", path)
+	}
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			fill(t, v.Field(i), path+"."+v.Type().Field(i).Name, seed)
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			fill(t, v.Index(i), fmt.Sprintf("%s[%d]", path, i), seed)
+		}
+	case reflect.Slice:
+		s := reflect.MakeSlice(v.Type(), 2, 2)
+		for i := 0; i < 2; i++ {
+			fill(t, s.Index(i), fmt.Sprintf("%s[%d]", path, i), seed)
+		}
+		v.Set(s)
+	case reflect.Map:
+		m := reflect.MakeMap(v.Type())
+		k := reflect.New(v.Type().Key()).Elem()
+		fill(t, k, path+"(key)", seed)
+		e := reflect.New(v.Type().Elem()).Elem()
+		fill(t, e, path+"(value)", seed)
+		m.SetMapIndex(k, e)
+		v.Set(m)
+	case reflect.Pointer:
+		p := reflect.New(v.Type().Elem())
+		fill(t, p.Elem(), path+".*", seed)
+		v.Set(p)
+	case reflect.String:
+		*seed++
+		v.SetString(fmt.Sprintf("s%d", *seed))
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		*seed++
+		v.SetInt(int64(*seed))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		*seed++
+		v.SetUint(uint64(*seed))
+	case reflect.Float32, reflect.Float64:
+		*seed++
+		v.SetFloat(float64(*seed))
+	default:
+		t.Fatalf("%s: fill does not handle kind %v; extend the test alongside the new field", path, v.Kind())
+	}
+}
+
+// assertDetached fails if any slice/map/pointer reachable from b shares
+// memory with its counterpart in a. Strings are immutable and may share.
+func assertDetached(t *testing.T, path string, a, b reflect.Value) {
+	t.Helper()
+	switch a.Kind() {
+	case reflect.Struct:
+		for i := 0; i < a.NumField(); i++ {
+			assertDetached(t, path+"."+a.Type().Field(i).Name, a.Field(i), b.Field(i))
+		}
+	case reflect.Array:
+		for i := 0; i < a.Len(); i++ {
+			assertDetached(t, fmt.Sprintf("%s[%d]", path, i), a.Index(i), b.Index(i))
+		}
+	case reflect.Slice:
+		if a.Len() > 0 && a.Pointer() == b.Pointer() {
+			t.Errorf("%s: clone shares the slice backing array; Clone must detach it (slices.Clone)", path)
+			return
+		}
+		for i := 0; i < a.Len() && i < b.Len(); i++ {
+			assertDetached(t, fmt.Sprintf("%s[%d]", path, i), a.Index(i), b.Index(i))
+		}
+	case reflect.Map:
+		if !a.IsNil() && a.Pointer() == b.Pointer() {
+			t.Errorf("%s: clone shares the map; Clone must detach it (maps.Clone)", path)
+			return
+		}
+		iter := a.MapRange()
+		for iter.Next() {
+			bv := b.MapIndex(iter.Key())
+			if bv.IsValid() {
+				assertDetached(t, fmt.Sprintf("%s[%v]", path, iter.Key()), iter.Value(), bv)
+			}
+		}
+	case reflect.Pointer:
+		if !a.IsNil() && a.Pointer() == b.Pointer() {
+			t.Errorf("%s: clone shares the pointee; Clone must deep-copy it", path)
+			return
+		}
+		if !a.IsNil() && !b.IsNil() {
+			assertDetached(t, path+".*", a.Elem(), b.Elem())
+		}
+	}
+}

@@ -44,6 +44,8 @@ type crewTask struct {
 
 // NewCrew starts workers goroutines (< 1 means GOMAXPROCS) that serve
 // ForEachVertex calls until Close.
+//
+//lint:allowalloc crew construction; built once per workspace, its workers persist across phases and runs
 func NewCrew(workers int) *Crew {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
@@ -140,6 +142,7 @@ func (c *Crew) work(worker int) {
 			sp := m.Tracer.Begin(m.spanName(), m.TIDOffset+worker)
 			c.runRange(t.r, worker)
 			if m.Tracer != nil {
+				//lint:allowalloc span arguments; only built when tracing is on
 				sp.EndArgs(map[string]any{
 					"beg": t.r.Beg, "end": t.r.End, "deg": t.deg,
 				})

@@ -129,6 +129,7 @@ func ForEachVertexCtx(ctx context.Context, opt Options, n int32, need func(int32
 	if n <= 0 {
 		return nil
 	}
+	//lint:allowalloc one closure per phase launch on the per-phase-pool path; serving runs on the persistent Crew
 	pool := NewPoolObserved(opt.Workers, opt.Metrics, func(r Range, worker int) {
 		for u := r.Beg; u < r.End; u++ {
 			if need(u) {
@@ -198,6 +199,7 @@ func ForEachVertexStatic(workers int, n int32, process func(u int32, worker int)
 			end = n
 		}
 		wg.Add(1)
+		//lint:allowalloc one goroutine+closure per static block per phase; static mode trades this for zero queue traffic
 		go func(beg, end int32, worker int) {
 			defer wg.Done()
 			for u := beg; u < end; u++ {
@@ -239,6 +241,8 @@ func NewPool(workers int, run func(r Range, worker int)) *Pool {
 // NewPoolObserved is NewPool with telemetry: queue wait, per-worker busy
 // time and one trace span per task. With m == nil (or all-nil fields) the
 // workers take no clock reads and behave exactly like NewPool's.
+//
+//lint:allowalloc pool construction: one channel plus one goroutine per worker per phase; the serving path uses the persistent Crew instead
 func NewPoolObserved(workers int, m *Metrics, run func(r Range, worker int)) *Pool {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
@@ -262,6 +266,7 @@ func NewPoolObserved(workers int, m *Metrics, run func(r Range, worker int)) *Po
 				sp := m.Tracer.Begin(m.spanName(), m.TIDOffset+worker)
 				run(t.r, worker)
 				if m.Tracer != nil {
+					//lint:allowalloc span arguments; only built when tracing is on
 					sp.EndArgs(map[string]any{
 						"beg": t.r.Beg, "end": t.r.End, "deg": t.deg,
 					})

@@ -258,16 +258,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	out["runtime.goroutines"] = runtime.NumGoroutine()
-	out["runtime.heap_alloc_bytes"] = ms.HeapAlloc
-	out["runtime.num_gc"] = ms.NumGC
-	out["graph.vertices"] = s.g.NumVertices()
-	out["graph.edges"] = s.g.NumEdges()
-	out["server.indexed"] = s.ix != nil
-	out["server.uptime_ns"] = time.Since(s.start).Nanoseconds()
-	out["server.draining"] = s.draining.Load()
-	out["admission.max_inflight"] = cap(s.sem) // 0 = unlimited
-	out["admission.request_timeout_ns"] = s.reqTimeout.Nanoseconds()
+	out[obsv.MetricRuntimeGoroutines] = runtime.NumGoroutine()
+	out[obsv.MetricRuntimeHeapAlloc] = ms.HeapAlloc
+	out[obsv.MetricRuntimeNumGC] = ms.NumGC
+	out[obsv.MetricGraphVertices] = s.g.NumVertices()
+	out[obsv.MetricGraphEdges] = s.g.NumEdges()
+	out[obsv.MetricServerIndexed] = s.ix != nil
+	out[obsv.MetricServerUptimeNs] = time.Since(s.start).Nanoseconds()
+	out[obsv.MetricServerDraining] = s.draining.Load()
+	out[obsv.MetricAdmissionMaxInflight] = cap(s.sem) // 0 = unlimited
+	out[obsv.MetricAdmissionRequestTimeoutNs] = s.reqTimeout.Nanoseconds()
 	ps := s.pool.Stats()
 	out[obsv.MetricWorkspaceHits] = ps.Hits
 	out[obsv.MetricWorkspaceMisses] = ps.Misses

@@ -15,6 +15,8 @@ type Sequential struct {
 }
 
 // NewSequential creates a sequential union–find over n singleton elements.
+//
+//lint:allowalloc constructor; pooled callers reuse via Reset
 func NewSequential(n int32) *Sequential {
 	u := &Sequential{}
 	u.Reset(n)
@@ -26,7 +28,9 @@ func NewSequential(n int32) *Sequential {
 // pooling). Not safe for concurrent use, like every other method.
 func (u *Sequential) Reset(n int32) {
 	if int(n) > cap(u.parent) {
+		//lint:allowalloc grow-only: reallocates only when n exceeds retained capacity
 		u.parent = make([]int32, n)
+		//lint:allowalloc grow-only: reallocates only when n exceeds retained capacity
 		u.rank = make([]int8, n)
 	} else {
 		u.parent = u.parent[:n]
@@ -94,6 +98,8 @@ type Concurrent struct {
 }
 
 // NewConcurrent creates a concurrent union–find over n singleton elements.
+//
+//lint:allowalloc constructor; pooled callers reuse via Reset
 func NewConcurrent(n int32) *Concurrent {
 	u := &Concurrent{}
 	u.Reset(n)
@@ -106,11 +112,13 @@ func NewConcurrent(n int32) *Concurrent {
 // caller provides the quiescence barrier (e.g. a completed run).
 func (u *Concurrent) Reset(n int32) {
 	if int(n) > cap(u.parent) {
+		//lint:allowalloc grow-only: reallocates only when n exceeds retained capacity
 		u.parent = make([]int32, n)
 	} else {
 		u.parent = u.parent[:n]
 	}
 	for i := int32(0); i < n; i++ {
+		//lint:atomicok quiescent by contract: Reset requires no concurrent Find/Union in flight
 		u.parent[i] = i
 	}
 }
@@ -179,6 +187,8 @@ func (u *Concurrent) Len() int32 {
 
 // Snapshot returns each element's current representative as a slice. Only
 // meaningful once all concurrent mutators have quiesced.
+//
+//lint:allowalloc test/debug readout, not a run path
 func (u *Concurrent) Snapshot() []int32 {
 	out := make([]int32, len(u.parent))
 	for i := range out {
@@ -199,9 +209,12 @@ type RankedConcurrent struct {
 }
 
 // NewRankedConcurrent creates a ranked union–find over n singletons.
+//
+//lint:allowalloc constructor
 func NewRankedConcurrent(n int32) *RankedConcurrent {
 	u := &RankedConcurrent{a: make([]int64, n)}
 	for i := range u.a {
+		//lint:atomicok quiescent: the structure is not yet published to other goroutines
 		u.a[i] = -1 // root, rank 0
 	}
 	return u
