@@ -12,7 +12,7 @@ GOVULNCHECK_VERSION  ?= v1.1.4
 STATICCHECK          := $(TOOLS_BIN)/staticcheck
 GOVULNCHECK          := $(TOOLS_BIN)/govulncheck
 
-.PHONY: build test vet race check staticcheck govulncheck scanlint lint-fix-list bench bench-obsv bench-alloc alloc-gate
+.PHONY: build test vet race check staticcheck govulncheck scanlint lint-fix-list bench bench-obsv bench-alloc alloc-gate chaos
 
 build:
 	$(GO) build ./...
@@ -65,11 +65,21 @@ lint-fix-list:
 alloc-gate:
 	$(GO) test -run TestServingAllocBudget -count 1 -v ./internal/engine/
 
+# The fault-containment suite under the race detector: seeded chaos runs
+# across every engine, the server panic/stall acceptance scenarios, and
+# the watchdog tests (see OPERATIONS.md "Failure modes"). Already part of
+# `make race`; this target iterates on just the containment paths.
+chaos:
+	$(GO) test -race -count 1 -run 'TestChaos|TestWatchdog|TestDistscanSuperstepRetry|TestDistscanRetryExhaustion|TestAcceptance|TestServerChaos|TestServerWatchdog|TestHandlerPanic' \
+		./internal/engine/ ./internal/server/
+
 # The pre-merge gate: static checks, the full suite under the race
 # detector (the parallel phases, scheduler telemetry and HTTP middleware
-# are all exercised concurrently), then the non-race allocation gate.
+# are all exercised concurrently), the chaos/fault-containment suite, then
+# the non-race allocation gate.
 check: vet scanlint staticcheck govulncheck
 	$(GO) test -race ./...
+	$(MAKE) chaos
 	$(MAKE) alloc-gate
 
 bench:

@@ -11,22 +11,23 @@
 package main
 
 import (
-	"encoding/json"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"ppscan"
 	"ppscan/graph"
 	"ppscan/internal/core"
 	"ppscan/internal/dataset"
+	"ppscan/internal/fault"
 	"ppscan/internal/intersect"
 	"ppscan/internal/obsv"
 	"ppscan/internal/result"
 	"ppscan/internal/simdef"
-	"time"
 )
 
 func main() {
@@ -47,8 +48,14 @@ func main() {
 		quiet     = flag.Bool("q", false, "suppress the summary line")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (algo ppscan/ppscan-no only); open in chrome://tracing or ui.perfetto.dev")
 		statsJSON = flag.String("stats-json", "", "write the run report plus a metrics-registry snapshot as JSON to this file")
+		chaosSeed = flag.Int64("chaos-seed", 0, "arm deterministic fault injection with this seed (0 = off); the run then exercises the containment paths — worker panics become structured errors, transient superstep faults retry")
+		watchdog  = flag.Duration("watchdog", 0, "phase stall watchdog: abort a run whose scheduler makes no progress for this long (0 = off)")
 	)
 	flag.Parse()
+	if *chaosSeed != 0 {
+		fault.Enable(fault.NewPlan(*chaosSeed))
+		fmt.Fprintf(os.Stderr, "ppscan: fault injection armed (seed %d)\n", *chaosSeed)
+	}
 
 	g, name, err := loadGraph(*graphPath, *dsName, *scale)
 	if err != nil {
@@ -63,11 +70,12 @@ func main() {
 		res, err = runTraced(g, *algo, *eps, *mu, *workers, *kernel, *tracePath)
 	} else {
 		res, err = ppscan.Run(g, ppscan.Options{
-			Algorithm: ppscan.Algorithm(*algo),
-			Epsilon:   *eps,
-			Mu:        *mu,
-			Workers:   *workers,
-			Kernel:    *kernel,
+			Algorithm:    ppscan.Algorithm(*algo),
+			Epsilon:      *eps,
+			Mu:           *mu,
+			Workers:      *workers,
+			Kernel:       *kernel,
+			StallTimeout: *watchdog,
 		})
 	}
 	if err != nil {

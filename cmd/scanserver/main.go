@@ -43,6 +43,7 @@ import (
 	"ppscan"
 	"ppscan/graph"
 	"ppscan/internal/dataset"
+	"ppscan/internal/fault"
 	"ppscan/internal/server"
 )
 
@@ -64,8 +65,14 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 0, "max concurrent clustering computations (0 = unlimited); excess requests degrade to cache/index or get 429")
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-request computation deadline (0 = none); exceeded requests get 503")
 		grace       = flag.Duration("shutdown-grace", 15*time.Second, "max time to wait for in-flight requests on SIGTERM/SIGINT")
+		watchdog    = flag.Duration("watchdog", 0, "phase stall watchdog for direct computations: abort a request whose run makes no scheduler progress for this long and answer 500 (0 = off)")
+		chaosSeed   = flag.Int64("chaos-seed", 0, "arm deterministic fault injection with this seed (0 = off) — a chaos drill: injected worker panics, delays and transient faults exercise the containment paths while /metrics reports fault.* counters")
 	)
 	flag.Parse()
+	if *chaosSeed != 0 {
+		fault.Enable(fault.NewPlan(*chaosSeed))
+		log.Printf("fault injection armed (seed %d): this server will misbehave on purpose", *chaosSeed)
+	}
 
 	if *listAlgos {
 		for _, name := range ppscan.EngineNames() {
@@ -98,6 +105,7 @@ func main() {
 	srv := server.New(g, *workers).
 		WithCacheSize(*cacheSize).
 		WithAdmission(*maxInflight, *reqTimeout).
+		WithWatchdog(*watchdog).
 		WithAlgorithm(ppscan.Algorithm(*algoName))
 	if *logReqs {
 		srv = srv.WithLogging(log.Default())

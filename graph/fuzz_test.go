@@ -2,9 +2,23 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 )
+
+// binImage hand-assembles a PSG1 binary image (magic, n, m, Off[1..n],
+// Dst) without going through WriteBinary, so tests can produce structurally
+// corrupt payloads that the writer would never emit.
+func binImage(n, m int64, off []int64, dst []int32) []byte {
+	var b bytes.Buffer
+	_ = binary.Write(&b, binary.LittleEndian, uint32(binaryMagic))
+	_ = binary.Write(&b, binary.LittleEndian, n)
+	_ = binary.Write(&b, binary.LittleEndian, m)
+	_ = binary.Write(&b, binary.LittleEndian, off)
+	_ = binary.Write(&b, binary.LittleEndian, dst)
+	return b.Bytes()
+}
 
 // FuzzReadEdgeList: arbitrary text must never panic, and every accepted
 // graph must satisfy all CSR invariants.
@@ -37,6 +51,22 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(seed.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0x31, 0x47, 0x53, 0x50, 0, 0, 0, 0})
+	// Corrupt-CSR corpus: each entry violates exactly one invariant the
+	// loader must reject with a wrapped error, never a panic.
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef})                        // bad magic
+	f.Add(binImage(2, 2, []int64{2, 1}, []int32{1, 0}))          // non-monotone offsets
+	f.Add(binImage(2, 2, []int64{1, 2}, []int32{1, 7}))          // out-of-range neighbor
+	f.Add(binImage(2, 2, []int64{1, 2}, []int32{1, 1}))          // self loop
+	f.Add(binImage(2, 2, []int64{2, 2}, []int32{1, 1}))          // asymmetric edge
+	f.Add(binImage(1<<40, 1<<40, nil, nil))                      // huge n and m, no payload
+	f.Add(binImage(3, 1<<62, []int64{0, 0, 0}, nil))             // m beyond any simple graph
+	f.Add(binImage(2, 3, []int64{2, 3}, []int32{1, 0, 0}))       // odd directed-edge count
+	f.Add(binImage(4, 6, []int64{2, 4}, []int32{1, 2}))          // truncated mid-payload
+	f.Add(seed.Bytes()[:len(seed.Bytes())-2])                    // truncated adjacency tail
+	f.Add(binImage(0, 2, nil, []int32{0, 1}))                    // edges with no vertices
+	f.Add(binImage(2, 2, []int64{1, 3}, []int32{1, 0}))          // Off[n] != len(Dst)
+	f.Add(binImage(3, 4, []int64{2, 3, 4}, []int32{2, 1, 0, 0})) // neighbors not sorted
+	f.Add(binImage(maxBinaryVertices+5, 0, nil, nil))            // n past the int32 id space
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := ReadBinary(bytes.NewReader(data))
 		if err != nil {

@@ -9,6 +9,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"ppscan/internal/fault"
 )
 
 // ReadEdgeList parses a whitespace-separated edge-list stream in the SNAP
@@ -112,7 +114,63 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
+// maxBinaryVertices bounds the declared vertex count of a binary graph:
+// vertex ids are int32, so a header declaring more vertices than int32 can
+// address is corrupt by construction, and rejecting it up front keeps a
+// hostile header from sizing the offset allocation.
+const maxBinaryVertices = 1<<31 - 2
+
+// binaryReadChunk is the element granularity for reading the CSR payload
+// arrays. Reading in chunks and growing with append keeps peak memory
+// proportional to the bytes actually present in the stream: a truncated or
+// hostile file that declares n=10^12 fails at its first missing chunk
+// instead of OOM-panicking on an upfront make([]int64, n+1).
+const binaryReadChunk = 1 << 17
+
+// readInt64Chunked appends count little-endian int64s from r to dst,
+// reading at most binaryReadChunk elements at a time.
+func readInt64Chunked(r io.Reader, dst []int64, count int64, what string) ([]int64, error) {
+	buf := make([]int64, min64(count, binaryReadChunk))
+	for count > 0 {
+		c := buf[:min64(count, binaryReadChunk)]
+		if err := binary.Read(r, binary.LittleEndian, c); err != nil {
+			return nil, fmt.Errorf("graph: reading %s: %w", what, err)
+		}
+		dst = append(dst, c...)
+		count -= int64(len(c))
+	}
+	return dst, nil
+}
+
+// readInt32Chunked is readInt64Chunked for int32 payloads.
+func readInt32Chunked(r io.Reader, dst []int32, count int64, what string) ([]int32, error) {
+	buf := make([]int32, min64(count, binaryReadChunk))
+	for count > 0 {
+		c := buf[:min64(count, binaryReadChunk)]
+		if err := binary.Read(r, binary.LittleEndian, c); err != nil {
+			return nil, fmt.Errorf("graph: reading %s: %w", what, err)
+		}
+		dst = append(dst, c...)
+		count -= int64(len(c))
+	}
+	return dst, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // ReadBinary deserializes a graph written by WriteBinary and validates it.
+// Every structural invariant of the format is checked and reported as a
+// wrapped error — a corrupt or hostile stream can never panic a loader or
+// hand an invalid CSR to the algorithms: the header sizes are bounded
+// before anything is allocated, the payload is read incrementally so a
+// truncated file fails without ballooning memory, and the assembled graph
+// must pass Validate (monotone offsets, in-range sorted neighbors,
+// symmetric edges) before it is returned.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
 	var magic uint32
@@ -132,13 +190,27 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if n < 0 || m < 0 || m%2 != 0 {
 		return nil, fmt.Errorf("graph: implausible sizes n=%d m=%d", n, m)
 	}
-	off := make([]int64, n+1)
-	if err := binary.Read(br, binary.LittleEndian, off[1:]); err != nil {
-		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	if n > maxBinaryVertices {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds the int32 id space", n)
 	}
-	dst := make([]int32, m)
-	if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
-		return nil, fmt.Errorf("graph: reading adjacency: %w", err)
+	// A simple graph has at most n*(n-1) directed edges; reject headers
+	// that cannot possibly validate before reading (or allocating for)
+	// their payload. The product is computed guarded against overflow.
+	if n == 0 && m > 0 {
+		return nil, fmt.Errorf("graph: %d edges with no vertices", m)
+	}
+	if n > 0 && m/n > n-1 {
+		return nil, fmt.Errorf("graph: implausible edge count %d for %d vertices", m, n)
+	}
+	off := make([]int64, 1, min64(n+1, binaryReadChunk))
+	off, err := readInt64Chunked(br, off, n, "offsets")
+	if err != nil {
+		return nil, err
+	}
+	dst := make([]int32, 0, min64(m, binaryReadChunk))
+	dst, err = readInt32Chunked(br, dst, m, "adjacency")
+	if err != nil {
+		return nil, err
 	}
 	g := &Graph{Off: off, Dst: dst}
 	if err := g.Validate(); err != nil {
@@ -152,6 +224,9 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 // format; a final ".gz" extension (e.g. ".txt.gz", ".bin.gz") transparently
 // gunzips first.
 func LoadFile(path string) (*Graph, error) {
+	if err := fault.Inject(fault.GraphLoad); err != nil {
+		return nil, fmt.Errorf("graph: %s: %w", path, err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

@@ -38,6 +38,7 @@ func (e ppscanEngine) RunContext(ctx context.Context, g *graph.Graph, th simdef.
 		StaticScheduling: opt.StaticScheduling,
 		Registry:         opt.Registry,
 		Tracer:           opt.Tracer,
+		StallTimeout:     opt.StallTimeout,
 	}, ws)
 	if err != nil {
 		return nil, err

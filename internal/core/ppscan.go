@@ -36,6 +36,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -81,6 +82,13 @@ type Options struct {
 	// track 0 (the coordinator) and one span per scheduler task on tracks
 	// 1..Workers. Export with Tracer.WriteJSON for chrome://tracing.
 	Tracer *obsv.Tracer
+	// StallTimeout arms the phase watchdog: a phase (P1–P7) in which no
+	// scheduler task completes for this long is abandoned with a
+	// result.PartialError wrapping result.ErrStalled, and the workspace
+	// is fatally poisoned (a hung task may still reference its buffers).
+	// Zero — the default — disables the watchdog; the serving alloc
+	// budget is measured with it off. Dynamic scheduling only.
+	StallTimeout time.Duration
 }
 
 // DefaultOptions returns the paper-faithful configuration: 16-lane pivot
@@ -162,21 +170,31 @@ func RunWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt 
 
 	// --- Step 1: role computing (Algorithm 3) ---------------------------
 	t0 := time.Now()
-	s.forEach("P1 prune-sim", s.fnTrue, s.fnPruneSim)
+	err := s.forEach("P1 prune-sim", s.fnTrue, s.fnPruneSim)
 	s.phaseTimes[result.PhasePruning] = time.Since(t0)
+	if err != nil {
+		return s.abortFault("P1 prune-sim", err)
+	}
 	if ctx.Err() != nil {
 		return s.abort("P1 prune-sim")
 	}
 
 	t0 = time.Now()
 	s.phase = result.PhaseCheckCore
-	s.forEach("P2 check-core", s.fnRoleUnknown, s.fnCheckCore)
+	err = s.forEach("P2 check-core", s.fnRoleUnknown, s.fnCheckCore)
+	if err != nil {
+		s.phaseTimes[result.PhaseCheckCore] = time.Since(t0)
+		return s.abortFault("P2 check-core", err)
+	}
 	if ctx.Err() != nil {
 		s.phaseTimes[result.PhaseCheckCore] = time.Since(t0)
 		return s.abort("P2 check-core")
 	}
-	s.forEach("P3 consolidate-core", s.fnRoleUnknown, s.fnConsolidate)
+	err = s.forEach("P3 consolidate-core", s.fnRoleUnknown, s.fnConsolidate)
 	s.phaseTimes[result.PhaseCheckCore] = time.Since(t0)
+	if err != nil {
+		return s.abortFault("P3 consolidate-core", err)
+	}
 	if ctx.Err() != nil {
 		return s.abort("P3 consolidate-core")
 	}
@@ -184,20 +202,31 @@ func RunWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt 
 	// --- Step 2: core and non-core clustering (Algorithm 4) -------------
 	t0 = time.Now()
 	s.phase = result.PhaseClusterCore
-	s.forEach("P4 cluster-core", s.fnIsCore, s.fnClusterNoCS)
+	err = s.forEach("P4 cluster-core", s.fnIsCore, s.fnClusterNoCS)
+	if err != nil {
+		s.phaseTimes[result.PhaseClusterCore] = time.Since(t0)
+		return s.abortFault("P4 cluster-core", err)
+	}
 	if ctx.Err() != nil {
 		s.phaseTimes[result.PhaseClusterCore] = time.Since(t0)
 		return s.abort("P4 cluster-core")
 	}
-	s.forEach("P5 cluster-core-compsim", s.fnIsCore, s.fnClusterCS)
+	err = s.forEach("P5 cluster-core-compsim", s.fnIsCore, s.fnClusterCS)
+	if err != nil {
+		s.phaseTimes[result.PhaseClusterCore] = time.Since(t0)
+		return s.abortFault("P5 cluster-core-compsim", err)
+	}
 	if ctx.Err() != nil {
 		s.phaseTimes[result.PhaseClusterCore] = time.Since(t0)
 		return s.abort("P5 cluster-core-compsim")
 	}
 	// P6: cluster-id initialization with CAS (Algorithm 4, InitClusterId).
 	s.clusterID = ws.ClusterIDs(int(n))
-	s.forEach("P6 init-cluster-id", s.fnIsCore, s.fnInitCID)
+	err = s.forEach("P6 init-cluster-id", s.fnIsCore, s.fnInitCID)
 	s.phaseTimes[result.PhaseClusterCore] = time.Since(t0)
+	if err != nil {
+		return s.abortFault("P6 init-cluster-id", err)
+	}
 	if ctx.Err() != nil {
 		return s.abort("P6 init-cluster-id")
 	}
@@ -221,8 +250,11 @@ func RunWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt 
 
 	t0 = time.Now()
 	s.phase = result.PhaseClusterNonCore
-	nonCore := s.clusterNonCore()
+	nonCore, err := s.clusterNonCore()
 	s.phaseTimes[result.PhaseClusterNonCore] = time.Since(t0)
+	if err != nil {
+		return s.abortFault("P7 cluster-non-core", err)
+	}
 	if ctx.Err() != nil {
 		return s.abort("P7 cluster-non-core")
 	}
@@ -286,6 +318,51 @@ func (s *state) abort(phase string) (*result.Result, error) {
 		},
 		Phase: phase,
 		Err:   context.Cause(s.ctx),
+	}
+}
+
+// abortFault reports a phase that ended in a contained failure — a
+// recovered worker panic or a watchdog stall — as a PartialError naming
+// the phase, and poisons the workspace so the pool rebuilds (panic) or
+// discards (stall) it before any reuse.
+//
+// Stalled phases skip the per-worker counter fold: the hung task's worker
+// may still be mutating its stat block, so only coordinator-owned numbers
+// (phase times, totals) are safe to read. Panic aborts fold normally —
+// the barrier completed, every worker is quiescent.
+func (s *state) abortFault(phase string, err error) (*result.Result, error) {
+	if errors.Is(err, result.ErrStalled) {
+		s.zombie = true
+		s.ws.PoisonFatal()
+		s.reg.Counter(obsv.MetricWatchdogStalls).Inc()
+		//lint:allowalloc failure path; faulted runs are off the warm budget by definition
+		return nil, &result.PartialError{
+			Stats: result.Stats{
+				Algorithm:  "ppSCAN",
+				Workers:    s.opt.Workers,
+				PhaseTimes: s.phaseTimes,
+				Total:      time.Since(s.start),
+			},
+			Phase: phase,
+			Err:   err,
+		}
+	}
+	s.ws.Poison()
+	s.reg.Counter(obsv.MetricCorePanics).Inc()
+	calls, byPhase, kern := s.fold()
+	//lint:allowalloc failure path; faulted runs are off the warm budget by definition
+	return nil, &result.PartialError{
+		Stats: result.Stats{
+			Algorithm:      "ppSCAN",
+			Workers:        s.opt.Workers,
+			CompSimCalls:   calls,
+			CompSimByPhase: byPhase,
+			Kernel:         kern,
+			PhaseTimes:     s.phaseTimes,
+			Total:          time.Since(s.start),
+		},
+		Phase: phase,
+		Err:   err,
 	}
 }
 
@@ -408,6 +485,9 @@ type state struct {
 	// the coordinating goroutine between phases (before workers receive
 	// tasks, so the happens-before edge is the task submission).
 	phase result.PhaseID
+	// zombie records a watchdog abort: a hung task may still reference
+	// the run's inputs, so endRun must not clear them. Coordinator-only.
+	zombie bool
 
 	// Non-core clustering batches: per-worker emission buffers flushed
 	// into collected under ncMu (all grow-only, reused across runs).
@@ -460,6 +540,7 @@ func (s *state) reset(ctx context.Context, g *graph.Graph, th simdef.Threshold, 
 	s.g, s.th, s.ctx, s.opt, s.ws = g, th, ctx, opt, ws
 	s.start = time.Now()
 	s.stop.Store(false)
+	s.zombie = false
 	s.roles = ws.Roles(n)
 	s.sim = ws.AtomicSim(int(g.NumDirectedEdges()))
 	s.uf = ws.ConcurrentUF(int32(n))
@@ -516,8 +597,15 @@ func (s *state) reset(ctx context.Context, g *graph.Graph, th simdef.Threshold, 
 }
 
 // endRun drops the per-run references so a pooled workspace does not pin
-// the caller's graph or context between requests.
+// the caller's graph or context between requests. After a stalled
+// (abandoned) phase the references are left in place: the hung task may
+// still read them, and nil-ing them here would race with it — the
+// workspace is fatally poisoned and about to be discarded anyway, so the
+// pinning is bounded by the zombie's lifetime.
 func (s *state) endRun() {
+	if s.zombie {
+		return
+	}
 	s.ctx = nil
 	s.g = nil
 }
@@ -538,21 +626,21 @@ func (s *state) storeSim(e int64, v simdef.EdgeSim) {
 // phase in the trace: the whole barrier-to-barrier interval becomes a span
 // on the coordinator track, and each scheduler task a span named after the
 // phase on its worker's track.
-func (s *state) forEach(name string, need func(int32) bool, process func(u int32, worker int)) {
+func (s *state) forEach(name string, need func(int32) bool, process func(u int32, worker int)) error {
 	n := s.g.NumVertices()
 	sp := s.tr.Begin(name, 0)
 	defer sp.End()
 	if s.opt.StaticScheduling {
 		// Static blocks have no task boundaries to checkpoint at; poll the
 		// cancellation flag per vertex instead so the phase still drains
-		// promptly (the flag is an uncontended atomic load).
+		// promptly (the flag is an uncontended atomic load). The static
+		// path has no watchdog (ablation mode only).
 		//lint:allowalloc one closure per phase launch, static-scheduling mode only; the serving default is dynamic scheduling
-		sched.ForEachVertexStatic(s.opt.Workers, n, func(u int32, w int) {
+		return sched.ForEachVertexStatic(s.opt.Workers, n, func(u int32, w int) {
 			if !s.stop.Load() && need(u) {
 				process(u, w)
 			}
 		})
-		return
 	}
 	var m *sched.Metrics
 	if s.sm != nil {
@@ -568,10 +656,12 @@ func (s *state) forEach(name string, need func(int32) bool, process func(u int32
 		}
 		m = &s.schedM
 	}
-	s.ws.Crew(s.opt.Workers).ForEachVertex(sched.Options{
+	return s.ws.Crew(s.opt.Workers).ForEachVertex(sched.Options{
 		Workers:         s.opt.Workers,
 		DegreeThreshold: s.opt.DegreeThreshold,
 		Metrics:         m,
+		Phase:           name,
+		StallTimeout:    s.opt.StallTimeout,
 	}, n, need, s.fnDegree, process, s.fnStop)
 }
 
@@ -769,12 +859,14 @@ func (s *state) initClusterID(u int32, worker int) {
 // membership computation overlaps the copy-back. All buffers are pooled:
 // the per-worker batches and the collected list keep their capacity across
 // runs.
-func (s *state) clusterNonCore() []result.Membership {
-	s.forEach("P7 cluster-non-core", s.fnIsCore, s.fnNonCore)
+func (s *state) clusterNonCore() ([]result.Membership, error) {
+	if err := s.forEach("P7 cluster-non-core", s.fnIsCore, s.fnNonCore); err != nil {
+		return nil, err
+	}
 	for w := range s.ncLocal {
 		s.flushNonCore(w)
 	}
-	return s.collected
+	return s.collected, nil
 }
 
 // nonCoreVertex processes one core's adjacency in P7.

@@ -21,17 +21,32 @@
 //	    memberships are emitted locally and gathered.
 //
 // Results are exact and identical to every other algorithm in this module.
+//
+// # Fault model
+//
+// Supersteps are the retry unit, matching real BSP systems where a failed
+// round is re-dispatched: a transient failure at a superstep boundary
+// (fault.IsTransient — in this surrogate, injected faults standing in for
+// lost messages or preempted executors) is retried with capped exponential
+// backoff up to Options.MaxAttempts. Partition workers recover panics
+// into *result.WorkerPanicError (not retried — a deterministic panic
+// would re-fire), and Options.StallTimeout arms a superstep watchdog
+// mirroring the scheduler crew's: a superstep with no per-partition
+// progress for a full window aborts with result.ErrStalled.
 package distscan
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ppscan/graph"
 	"ppscan/internal/engine"
+	"ppscan/internal/fault"
 	"ppscan/internal/intersect"
 	"ppscan/internal/result"
 	"ppscan/internal/simdef"
@@ -44,7 +59,23 @@ type Options struct {
 	Partitions int
 	// Kernel selects the set-intersection kernel (default MergeEarly).
 	Kernel intersect.Kind
+	// MaxAttempts bounds how many times a superstep runs when it keeps
+	// failing transiently; < 1 defaults to 3 (the first attempt plus two
+	// retries).
+	MaxAttempts int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// attempt and capped at 50ms; < 1 defaults to 1ms.
+	RetryBackoff time.Duration
+	// StallTimeout arms the superstep watchdog: a superstep (S1–S5) in
+	// which no partition makes progress for this long is abandoned with a
+	// result.PartialError wrapping result.ErrStalled, and the workspace
+	// is fatally poisoned (hung partition goroutines may still reference
+	// its buffers). Zero — the default — disables the watchdog.
+	StallTimeout time.Duration
 }
+
+// maxRetryBackoff caps the exponential superstep retry backoff.
+const maxRetryBackoff = 50 * time.Millisecond
 
 // Run executes the distributed surrogate on g.
 func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
@@ -67,12 +98,22 @@ func RunContext(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt Op
 // partition structures (remote adjacency caches, outboxes, union-edge
 // lists) stay dynamically allocated — they model the communication the
 // surrogate exists to measure. Result slices never alias ws memory.
+//
+// Contained failures (worker panics, watchdog stalls) return a
+// *result.PartialError wrapping the cause, after poisoning ws so the
+// engine pool rebuilds or discards it.
 func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt Options, ws *engine.Workspace) (*result.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if opt.Partitions < 1 {
 		opt.Partitions = 4
+	}
+	if opt.MaxAttempts < 1 {
+		opt.MaxAttempts = 3
+	}
+	if opt.RetryBackoff < 1 {
+		opt.RetryBackoff = time.Millisecond
 	}
 	start := time.Now()
 	n := g.NumVertices()
@@ -85,8 +126,10 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 	}
 
 	// stop mirrors ctx cancellation into an atomic the per-vertex loops can
-	// poll cheaply; abort builds the partial-stats error at a checkpoint.
+	// poll cheaply; progress counts per-partition checkpoint crossings and
+	// completions for the superstep watchdog.
 	var stop atomic.Bool
+	var progress atomic.Uint64
 	if ctx.Done() != nil {
 		release := context.AfterFunc(ctx, func() { stop.Store(true) })
 		defer release()
@@ -109,18 +152,55 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 		commBytes += b
 		commMu.Unlock()
 	}
-	// abort runs at superstep barriers (all partition workers joined), so
-	// commBytes is quiescent and safe to read without the mutex.
-	abort := func(superstep string) (*result.Result, error) {
+	// readComm takes the mutex: after a watchdog abort the partition
+	// goroutines may still be running, so quiescence cannot be assumed.
+	readComm := func() int64 {
+		commMu.Lock()
+		defer commMu.Unlock()
+		return commBytes
+	}
+	// abortErr builds the partial-stats error for any cause: context
+	// cancellation (cause == nil reads context.Cause), a contained worker
+	// panic, or a watchdog stall. Failure causes poison the workspace.
+	abortErr := func(superstep string, cause error) (*result.Result, error) {
+		if cause == nil {
+			cause = context.Cause(ctx)
+		} else if ws != nil {
+			if errors.Is(cause, result.ErrStalled) {
+				ws.PoisonFatal()
+			} else {
+				ws.Poison()
+			}
+		}
 		return nil, &result.PartialError{
 			Stats: result.Stats{
 				Algorithm: fmt.Sprintf("dist-scan(p=%d)", p),
 				Workers:   p,
 				Total:     time.Since(start),
-				CommBytes: commBytes,
+				CommBytes: readComm(),
 			},
 			Phase: superstep,
-			Err:   context.Cause(ctx),
+			Err:   cause,
+		}
+	}
+	// superstep runs one bulk-synchronous round with the package fault
+	// model: injection at the round boundary, per-partition panic
+	// recovery, watchdog-guarded barrier, and capped-backoff retry of
+	// transient failures (the BSP re-dispatch).
+	superstep := func(name string, fn func(w int)) error {
+		backoff := opt.RetryBackoff
+		//lint:ctxok bounded by MaxAttempts; the barrier inside each attempt honors ctx via the stop flag
+		for attempt := 1; ; attempt++ {
+			err := runAttempt(name, p, opt.StallTimeout, &progress, fn)
+			if err == nil || !fault.IsTransient(err) || attempt >= opt.MaxAttempts {
+				return err
+			}
+			fault.NoteRetry()
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > maxRetryBackoff {
+				backoff = maxRetryBackoff
+			}
 		}
 	}
 
@@ -139,11 +219,14 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 	// S1: adjacency exchange. Each partition lists the remote vertices v
 	// (with v > u for an owned u) whose neighbor lists it needs.
 	wants := make([][]int32, p) // per partition: sorted unique remote wants
-	parallelParts(p, func(w int) {
+	err := superstep("S1 adjacency-exchange", func(w int) {
 		seen := map[int32]struct{}{}
 		for u := bounds[w]; u < bounds[w+1]; u++ {
-			if u&1023 == 0 && stop.Load() {
-				return
+			if u&1023 == 0 {
+				if stop.Load() {
+					return
+				}
+				progress.Add(1)
 			}
 			for _, v := range g.Neighbors(u) {
 				if v > u && owner(v) != w {
@@ -157,15 +240,21 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 		}
 		wants[w] = lst
 	})
-	if ctx.Err() != nil {
-		return abort("S1 adjacency-exchange")
+	if err != nil {
+		return abortErr("S1 adjacency-exchange", err)
 	}
-	parallelParts(p, func(w int) {
+	if ctx.Err() != nil {
+		return abortErr("S1 adjacency-exchange", nil)
+	}
+	err = superstep("S1 adjacency-exchange", func(w int) {
 		cache := make(map[int32][]int32, len(wants[w]))
 		var bytes int64
 		for i, v := range wants[w] {
-			if i&1023 == 0 && stop.Load() {
-				break
+			if i&1023 == 0 {
+				if stop.Load() {
+					break
+				}
+				progress.Add(1)
 			}
 			// Request (vertex id) + response (neighbor list copy).
 			nbrs := g.Neighbors(v)
@@ -177,8 +266,11 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 		remoteAdj[w] = cache
 		addComm(bytes)
 	})
+	if err != nil {
+		return abortErr("S1 adjacency-exchange", err)
+	}
 	if ctx.Err() != nil {
-		return abort("S1 adjacency-exchange")
+		return abortErr("S1 adjacency-exchange", nil)
 	}
 
 	// S2: similarity computation under the owner(min-endpoint) rule, with
@@ -188,13 +280,17 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 		val  simdef.EdgeSim
 	}
 	outbox := make([][]simMsg, p)
-	parallelParts(p, func(w int) {
+	err = superstep("S2 similarity-computation", func(w int) {
 		var out []simMsg
+		out = out[:0] // a retried round rebuilds its outbox from scratch
 		for u := bounds[w]; u < bounds[w+1]; u++ {
 			// The similarity superstep dominates the run; poll every vertex
 			// (one uncontended atomic load vs. degree-many intersections).
 			if stop.Load() {
 				break
+			}
+			if u&1023 == 0 {
+				progress.Add(1)
 			}
 			uOff := g.Off[u]
 			nbrs := g.Neighbors(u)
@@ -221,11 +317,14 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 		outbox[w] = out
 		addComm(int64(len(out)) * 12) // (v, u, val) per message
 	})
+	if err != nil {
+		return abortErr("S2 similarity-computation", err)
+	}
 	if ctx.Err() != nil {
-		return abort("S2 similarity-computation")
+		return abortErr("S2 similarity-computation", nil)
 	}
 	// Deliver: each partition writes the messages targeting its range.
-	parallelParts(p, func(w int) {
+	err = superstep("S2 similarity-delivery", func(w int) {
 		for src := 0; src < p; src++ {
 			for _, m := range outbox[src] {
 				if owner(m.v) == w {
@@ -233,16 +332,23 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 				}
 			}
 		}
+		progress.Add(1)
 	})
+	if err != nil {
+		return abortErr("S2 similarity-delivery", err)
+	}
 	if ctx.Err() != nil {
-		return abort("S2 similarity-delivery")
+		return abortErr("S2 similarity-delivery", nil)
 	}
 
 	// S3: roles, locally per partition.
-	parallelParts(p, func(w int) {
+	err = superstep("S3 role-computation", func(w int) {
 		for u := bounds[w]; u < bounds[w+1]; u++ {
-			if u&1023 == 0 && stop.Load() {
-				return
+			if u&1023 == 0 {
+				if stop.Load() {
+					return
+				}
+				progress.Add(1)
 			}
 			var similar int32
 			for e := g.Off[u]; e < g.Off[u+1]; e++ {
@@ -257,30 +363,46 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 			}
 		}
 	})
-
+	if err != nil {
+		return abortErr("S3 role-computation", err)
+	}
 	if ctx.Err() != nil {
-		return abort("S3 role-computation")
+		return abortErr("S3 role-computation", nil)
 	}
 
 	// S4: role exchange — boundary roles cross partitions (one byte per
 	// boundary vertex requested, mirroring S1's want lists).
-	parallelParts(p, func(w int) {
-		addComm(int64(len(wants[w]))) // roles are read directly; count the bytes
+	roleBytes := make([]int64, p)
+	err = superstep("S4 role-exchange", func(w int) {
+		// Idempotent under retry: the per-partition cell is overwritten,
+		// and the sum folds into commBytes once, below.
+		roleBytes[w] = int64(len(wants[w]))
+		progress.Add(1)
 	})
+	if err != nil {
+		return abortErr("S4 role-exchange", err)
+	}
+	//lint:ctxok bounded p-iteration fold between superstep barriers
+	for _, b := range roleBytes {
+		addComm(b) // roles are read directly; count the bytes
+	}
 	if ctx.Err() != nil {
-		return abort("S4 role-exchange")
+		return abortErr("S4 role-exchange", nil)
 	}
 
 	// S5: clustering. Similar core-core union edges stream to the
 	// coordinator (8 bytes per edge for remote partitions).
 	uf := unionfind.NewSequential(n)
 	unionEdges := make([][][2]int32, p)
-	parallelParts(p, func(w int) {
+	err = superstep("S5 clustering", func(w int) {
 		var local [][2]int32
 		var remote int64
 		for u := bounds[w]; u < bounds[w+1]; u++ {
-			if u&1023 == 0 && stop.Load() {
-				break
+			if u&1023 == 0 {
+				if stop.Load() {
+					break
+				}
+				progress.Add(1)
 			}
 			if roles[u] != result.RoleCore {
 				continue
@@ -298,8 +420,11 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 		unionEdges[w] = local
 		addComm(remote)
 	})
+	if err != nil {
+		return abortErr("S5 clustering", err)
+	}
 	if ctx.Err() != nil {
-		return abort("S5 clustering")
+		return abortErr("S5 clustering", nil)
 	}
 	//lint:ctxok bounded union-merge between the S5 barrier and the next superstep check
 	for w := 0; w < p; w++ {
@@ -332,12 +457,15 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 	}
 	// Memberships, emitted per partition and gathered centrally.
 	members := make([][]result.Membership, p)
-	parallelParts(p, func(w int) {
+	err = superstep("S5 membership-emission", func(w int) {
 		var local []result.Membership
 		var remote int64
 		for u := bounds[w]; u < bounds[w+1]; u++ {
-			if u&1023 == 0 && stop.Load() {
-				break
+			if u&1023 == 0 {
+				if stop.Load() {
+					break
+				}
+				progress.Add(1)
 			}
 			if roles[u] != result.RoleCore {
 				continue
@@ -356,8 +484,11 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 		members[w] = local
 		addComm(remote)
 	})
+	if err != nil {
+		return abortErr("S5 membership-emission", err)
+	}
 	if ctx.Err() != nil {
-		return abort("S5 membership-emission")
+		return abortErr("S5 membership-emission", nil)
 	}
 
 	res := &result.Result{
@@ -379,9 +510,26 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 		Workers:      p,
 		CompSimCalls: calls,
 		Total:        time.Since(start),
-		CommBytes:    commBytes,
+		CommBytes:    readComm(),
 	}
 	return res, nil
+}
+
+// runAttempt executes one attempt of a superstep: the boundary fault
+// injection, the parallel partition fan-out with panic recovery, and the
+// watchdog-guarded barrier. Its own recover contains coundary-injected
+// panics (fault.SuperstepStart with an ActPanic rule) on the coordinator
+// goroutine, reported with Worker == -1.
+func runAttempt(name string, p int, stall time.Duration, progress *atomic.Uint64, fn func(w int)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &result.WorkerPanicError{Phase: name, Worker: -1, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := fault.Inject(fault.SuperstepStart); err != nil {
+		return err
+	}
+	return parallelParts(name, p, stall, progress, fn)
 }
 
 // partition returns p+1 boundaries splitting [0, n) into contiguous ranges
@@ -408,14 +556,75 @@ func partition(g *graph.Graph, p int) []int32 {
 }
 
 // parallelParts runs fn(w) for each partition concurrently and waits.
-func parallelParts(p int, fn func(w int)) {
+// Each partition goroutine runs under a recover (first panic wins, the
+// others run to completion — partitions own disjoint state, so there is
+// no drain to coordinate) and the barrier is watchdog-guarded when stall
+// > 0: a window with no progress-counter movement abandons the barrier
+// with result.ErrStalled, leaving the stragglers to finish — or hang —
+// on their own.
+func parallelParts(name string, p int, stall time.Duration, progress *atomic.Uint64, fn func(w int)) error {
 	var wg sync.WaitGroup
+	var panicErr atomic.Pointer[result.WorkerPanicError]
 	for w := 0; w < p; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer recoverPart(&panicErr, name, w)
+			if err := fault.Inject(fault.WorkerTask); err != nil {
+				// Partition workers have no error channel; injected
+				// error-action faults surface as contained panics.
+				panic(err)
+			}
 			fn(w)
+			progress.Add(1)
 		}(w)
 	}
-	wg.Wait()
+	if stall <= 0 {
+		wg.Wait()
+	} else if err := waitStall(&wg, stall, progress); err != nil {
+		return err
+	}
+	if wpe := panicErr.Load(); wpe != nil {
+		return wpe
+	}
+	return nil
+}
+
+// recoverPart is the partition goroutine's deferred recovery.
+func recoverPart(panicErr *atomic.Pointer[result.WorkerPanicError], name string, w int) {
+	if r := recover(); r != nil {
+		panicErr.CompareAndSwap(nil, &result.WorkerPanicError{
+			Phase:  name,
+			Worker: w,
+			Value:  r,
+			Stack:  debug.Stack(),
+		})
+	}
+}
+
+// waitStall waits for wg, sampling progress each time a full stall window
+// elapses; a window with no movement returns result.ErrStalled.
+func waitStall(wg *sync.WaitGroup, stall time.Duration, progress *atomic.Uint64) error {
+	done := make(chan struct{})
+	//lint:panicsafe the goroutine only calls wg.Wait and close, which cannot panic
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(stall)
+	defer timer.Stop()
+	last := progress.Load()
+	for {
+		select {
+		case <-done:
+			return nil
+		case <-timer.C:
+			if pr := progress.Load(); pr != last {
+				last = pr
+				timer.Reset(stall)
+				continue
+			}
+			return result.ErrStalled
+		}
+	}
 }

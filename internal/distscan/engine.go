@@ -27,7 +27,11 @@ func (distscanEngine) RunContext(ctx context.Context, g *graph.Graph, th simdef.
 		}
 		kern = k
 	}
-	return RunContextWorkspace(ctx, g, th, Options{Kernel: kern, Partitions: opt.Workers}, ws)
+	return RunContextWorkspace(ctx, g, th, Options{
+		Kernel:       kern,
+		Partitions:   opt.Workers,
+		StallTimeout: opt.StallTimeout,
+	}, ws)
 }
 
 func init() { engine.Register(distscanEngine{}) }

@@ -27,7 +27,7 @@ type Pool struct {
 	retained int
 	closed   bool
 
-	hits, misses, discards uint64
+	hits, misses, discards, resets uint64
 }
 
 // PoolStats is a snapshot of pool effectiveness counters.
@@ -43,6 +43,9 @@ type PoolStats struct {
 	// Discards counts Release calls that closed the workspace because the
 	// pool was full (or closed).
 	Discards uint64
+	// Resets counts poisoned workspaces rebuilt at Release after a
+	// contained failure (worker panic or watchdog abort).
+	Resets uint64
 	// RetainedBytes approximates the buffer memory held by idle
 	// workspaces.
 	RetainedBytes int64
@@ -110,12 +113,33 @@ func (p *Pool) take(c int) *Workspace {
 // Release returns ws to the pool for reuse. When the pool is at capacity
 // (or closed) the workspace is closed instead — its scheduler goroutines
 // stop and its memory goes back to the GC. ws must be idle (its run
-// finished) and must not be used by the caller after Release.
+// finished) and must not be used by the caller after Release. A poisoned
+// workspace (see Workspace.Poison) is Reset before it is retained, so
+// whatever a pooled workspace is next acquired for starts pristine.
 func (p *Pool) Release(ws *Workspace) {
 	if ws == nil {
 		return
 	}
+	if ws.Fatal() {
+		// A fatal workspace (stalled phase, possibly a hung goroutine
+		// still referencing its buffers) can never be made safe to reuse:
+		// close it and let the GC reclaim the memory once the zombie —
+		// if any — lets go.
+		p.mu.Lock()
+		p.discards++
+		p.mu.Unlock()
+		ws.Close()
+		return
+	}
+	reset := false
+	if ws.Poisoned() {
+		ws.Reset()
+		reset = true
+	}
 	p.mu.Lock()
+	if reset {
+		p.resets++
+	}
 	if p.closed || p.retained >= p.capacity {
 		p.discards++
 		p.mu.Unlock()
@@ -138,6 +162,7 @@ func (p *Pool) Stats() PoolStats {
 		Hits:     p.hits,
 		Misses:   p.misses,
 		Discards: p.discards,
+		Resets:   p.resets,
 	}
 	for _, s := range p.classes {
 		for _, ws := range s {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"runtime"
+	"sync/atomic"
 
 	"ppscan/internal/result"
 	"ppscan/internal/sched"
@@ -48,6 +49,20 @@ type Workspace struct {
 	crew          *sched.Crew
 	scratch       map[string]any
 	work          uint64 // high-water n+m, for pool size classing
+
+	// poisoned marks a workspace whose last run ended in a contained
+	// failure (worker panic or watchdog abort): engine-private scratch
+	// state may be mid-phase inconsistent (e.g. a mutex held when the
+	// panic fired, partial per-worker stat folds). Pool.Release resets a
+	// poisoned workspace before retaining it. Atomic because tests and
+	// the pool may inspect it from a different goroutine than the run's.
+	poisoned atomic.Bool
+	// fatal marks a workspace that must never be reused: a stalled
+	// (abandoned) phase may leave a hung goroutine that still writes to
+	// the workspace's buffers whenever — if ever — it resumes, so no
+	// Reset can make the memory safe to hand to another run.
+	// Pool.Release discards fatal workspaces instead of retaining them.
+	fatal atomic.Bool
 }
 
 // NewWorkspace returns an empty workspace. Buffers materialize on first
@@ -66,6 +81,34 @@ func (w *Workspace) Close() {
 		w.crew = nil
 	}
 	w.scratch = nil
+}
+
+// Poison marks the workspace as failure-tainted: its engine-private
+// scratch state may be inconsistent and must be rebuilt before the next
+// run. Called by the engine/server layer when a run ends in a contained
+// worker panic or a watchdog abort.
+func (w *Workspace) Poison() { w.poisoned.Store(true) }
+
+// Poisoned reports whether the workspace is failure-tainted.
+func (w *Workspace) Poisoned() bool { return w.poisoned.Load() }
+
+// PoisonFatal marks the workspace as unrecoverable (see the fatal field);
+// the pool discards it at Release instead of resetting it.
+func (w *Workspace) PoisonFatal() { w.fatal.Store(true); w.poisoned.Store(true) }
+
+// Fatal reports whether the workspace must be discarded rather than
+// reused.
+func (w *Workspace) Fatal() bool { return w.fatal.Load() }
+
+// Reset rebuilds the workspace to a pristine state after a contained
+// failure, clearing the poison mark. It drops the engine-private scratch
+// map — the only state whose integrity depends on runs completing
+// normally (getters re-initialize the generic buffers on every run, and
+// the crew's workers survived the panic via per-task recovery, so both
+// are kept).
+func (w *Workspace) Reset() {
+	clear(w.scratch)
+	w.poisoned.Store(false)
 }
 
 // note records a run size for pool classing (monotone high-water).
@@ -174,7 +217,7 @@ func (w *Workspace) Crew(workers int) *sched.Crew {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if w.crew != nil && w.crew.Workers() != workers {
+	if w.crew != nil && (w.crew.Workers() != workers || w.crew.Abandoned()) {
 		w.crew.Close()
 		w.crew = nil
 	}

@@ -629,7 +629,13 @@ func runAlgoProfile(algo Algo, g *graph.Graph, th simdef.Threshold, workers int,
 	case AlgoAnySCAN:
 		return anyscan.Run(g, th, anyscan.Options{Kernel: intersect.MergeEarly, Workers: workers})
 	case AlgoSCANXP:
-		return scanxp.Run(g, th, scanxp.Options{Kernel: intersect.Merge, Workers: workers})
+		r, err := scanxp.Run(g, th, scanxp.Options{Kernel: intersect.Merge, Workers: workers})
+		if err != nil {
+			// The harness runs without fault injection; a contained worker
+			// panic here is a bug worth the loud exit.
+			panic(fmt.Sprintf("expharness: scan-xp failed: %v", err))
+		}
+		return r
 	case AlgoPPSCAN:
 		return core.Run(g, th, core.Options{Kernel: profile.blockKernel(), Workers: workers})
 	case AlgoPPSCANNO:

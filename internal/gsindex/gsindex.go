@@ -281,17 +281,20 @@ func (ix *Index) QueryParallel(eps string, mu int32, workers int) (*result.Resul
 
 	// Roles: O(1) per vertex via the neighbor order.
 	roles := make([]result.Role, n)
-	sched.ForEachVertexStatic(schedOpt.Workers, n, func(u int32, w int) {
+	err = sched.ForEachVertexStatic(schedOpt.Workers, n, func(u int32, w int) {
 		if ix.IsCore(th.Eps, mu, u) {
 			roles[u] = result.RoleCore
 		} else {
 			roles[u] = result.RoleNonCore
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Core clustering over the wait-free union-find.
 	uf := unionfind.NewConcurrent(n)
-	sched.ForEachVertex(schedOpt, n,
+	err = sched.ForEachVertex(schedOpt, n,
 		func(u int32) bool { return roles[u] == result.RoleCore },
 		g.Degree,
 		func(u int32, w int) {
@@ -308,6 +311,9 @@ func (ix *Index) QueryParallel(eps string, mu int32, workers int) (*result.Resul
 				}
 			}
 		})
+	if err != nil {
+		return nil, err
+	}
 
 	// Cluster ids.
 	clusterID := make([]int32, n)
@@ -331,7 +337,7 @@ func (ix *Index) QueryParallel(eps string, mu int32, workers int) (*result.Resul
 		maxWorkers = runtime.GOMAXPROCS(0)
 	}
 	local := make([][]result.Membership, maxWorkers)
-	sched.ForEachVertex(schedOpt, n,
+	err = sched.ForEachVertex(schedOpt, n,
 		func(u int32) bool { return roles[u] == result.RoleCore },
 		g.Degree,
 		func(u int32, w int) {
@@ -350,6 +356,9 @@ func (ix *Index) QueryParallel(eps string, mu int32, workers int) (*result.Resul
 				}
 			}
 		})
+	if err != nil {
+		return nil, err
+	}
 	res := &result.Result{
 		Eps:           th.Eps.String(),
 		Mu:            mu,

@@ -32,11 +32,13 @@ var Analyzer = &framework.Analyzer{
 
 // checkpointCalls are callee names treated as cancellation checkpoints even
 // without a context argument: ctx.Err/Done, the scheduler pool's lock-free
-// Canceled flag, and the core state's stop helpers.
+// Canceled/quiesced flags (quiesced is canceled-or-failed, the
+// fault-containment generalization), and the core state's stop helpers.
 var checkpointCalls = map[string]bool{
 	"Err":      true,
 	"Done":     true,
 	"Canceled": true,
+	"quiesced": true,
 	"stop":     true,
 	"stopped":  true,
 	"fnStop":   true,

@@ -10,6 +10,7 @@ import (
 	"ppscan/internal/lint/framework"
 	"ppscan/internal/lint/hotalloc"
 	"ppscan/internal/lint/metricname"
+	"ppscan/internal/lint/panicsafe"
 	"ppscan/internal/lint/wsalias"
 )
 
@@ -21,5 +22,6 @@ func All() []*framework.Analyzer {
 		metricname.Analyzer,
 		ctxloop.Analyzer,
 		atomicmix.Analyzer,
+		panicsafe.Analyzer,
 	}
 }

@@ -1,0 +1,12 @@
+package panicsafe_test
+
+import (
+	"testing"
+
+	"ppscan/internal/lint/framework"
+	"ppscan/internal/lint/panicsafe"
+)
+
+func TestPanicsafe(t *testing.T) {
+	framework.AnalysisTest(t, "testdata", panicsafe.Analyzer, "panicfix")
+}

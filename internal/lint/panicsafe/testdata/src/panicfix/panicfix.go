@@ -1,0 +1,92 @@
+// Package panicfix exercises the panicsafe analyzer: goroutines in
+// serving packages must reach recover() or carry an annotation.
+package panicfix
+
+import "sync"
+
+func bare() {
+	go func() {}() // want `no reachable recover`
+}
+
+func deferredLiteral() {
+	go func() {
+		defer func() { _ = recover() }()
+		work()
+	}()
+}
+
+func deferredNamed() {
+	go contained(1)
+}
+
+func contained(i int) {
+	defer cleanup()
+	_ = i
+	work()
+}
+
+func cleanup() {
+	if r := recover(); r != nil {
+		_ = r
+	}
+}
+
+func namedEntry() {
+	go worker(0)
+}
+
+// worker reaches recover through two in-package hops (worker → contained
+// → cleanup).
+func worker(i int) {
+	contained(i)
+}
+
+func methodEntry() {
+	var s svc
+	go s.run()
+	go s.leaky() // want `no reachable recover`
+}
+
+type svc struct{}
+
+func (svc) run() { defer cleanup() }
+
+func (svc) leaky() { work() }
+
+// nestedGoroutine: the inner goroutine's recover protects the inner
+// goroutine only; the outer one is still bare.
+func nestedGoroutine() {
+	go func() { // want `no reachable recover`
+		go func() {
+			defer func() { _ = recover() }()
+		}()
+	}()
+}
+
+func annotated(wg *sync.WaitGroup) {
+	//lint:panicsafe the body only calls wg.Wait, which cannot panic
+	go func() { wg.Wait() }()
+}
+
+func foreignEntry(wg *sync.WaitGroup) {
+	go wg.Wait() // want `no reachable recover`
+}
+
+// recursive functions must not hang the resolver.
+func recursiveEntry() {
+	go ping(3) // want `no reachable recover`
+}
+
+func ping(n int) {
+	if n > 0 {
+		pong(n - 1)
+	}
+}
+
+func pong(n int) {
+	if n > 0 {
+		ping(n - 1)
+	}
+}
+
+func work() {}

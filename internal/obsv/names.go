@@ -118,4 +118,35 @@ const (
 	// admission.* counters against the configured limits.
 	MetricAdmissionMaxInflight      = "admission.max_inflight"
 	MetricAdmissionRequestTimeoutNs = "admission.request_timeout_ns"
+
+	// Fault-containment metrics.
+	//
+	// MetricCorePanics counts ppSCAN runs aborted by a contained worker
+	// panic (each such run returns a result.PartialError wrapping a
+	// *result.WorkerPanicError).
+	MetricCorePanics = "core.worker_panics"
+	// MetricServerPanics counts panics the server contained — recovered
+	// worker panics surfacing as engine errors plus panics caught by the
+	// handler-level recovery — each answered with HTTP 500 instead of
+	// process death.
+	MetricServerPanics = "server.panics"
+	// MetricServerStalls counts requests answered 500 because the phase
+	// watchdog (Server.WithWatchdog) abandoned the computation.
+	MetricServerStalls = "server.stalls"
+	// MetricServerWatchdogNs reports the configured stall timeout (0 =
+	// watchdog disabled).
+	MetricServerWatchdogNs = "server.watchdog_ns"
+	// MetricWatchdogStalls counts phases or supersteps aborted by the
+	// stall watchdog (no scheduler progress within -watchdog).
+	MetricWatchdogStalls = "watchdog.stalls"
+	// MetricWorkspaceResets counts poisoned workspaces rebuilt by the
+	// pool after a contained failure, before reuse.
+	MetricWorkspaceResets = "workspace.pool.resets"
+
+	// Fault-injection counters (reported from fault.Snapshot in /metrics;
+	// all zero unless -chaos-seed armed a plan).
+	MetricFaultPanics  = "fault.injected.panics"
+	MetricFaultDelays  = "fault.injected.delays"
+	MetricFaultErrors  = "fault.injected.errors"
+	MetricFaultRetries = "fault.retries"
 )

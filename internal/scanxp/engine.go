@@ -25,7 +25,11 @@ func (scanxpEngine) RunContext(ctx context.Context, g *graph.Graph, th simdef.Th
 		}
 		kern = k
 	}
-	return engine.FinishUninterruptible(ctx, RunWorkspace(g, th, Options{Kernel: kern, Workers: opt.Workers}, ws))
+	res, err := RunWorkspace(g, th, Options{Kernel: kern, Workers: opt.Workers}, ws)
+	if err != nil {
+		return nil, err
+	}
+	return engine.FinishUninterruptible(ctx, res)
 }
 
 func init() { engine.Register(scanxpEngine{}) }

@@ -37,8 +37,9 @@ type Options struct {
 	Workers int
 }
 
-// Run executes SCAN-XP on g.
-func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
+// Run executes SCAN-XP on g. A contained worker panic is returned as a
+// *result.WorkerPanicError.
+func Run(g *graph.Graph, th simdef.Threshold, opt Options) (*result.Result, error) {
 	return RunWorkspace(g, th, opt, nil)
 }
 
@@ -46,7 +47,7 @@ func Run(g *graph.Graph, th simdef.Threshold, opt Options) *result.Result {
 // concurrent union-find and the per-root minimum-id array) from a pooled
 // workspace; nil ws allocates per run as before. Result slices never
 // alias ws memory.
-func RunWorkspace(g *graph.Graph, th simdef.Threshold, opt Options, ws *engine.Workspace) *result.Result {
+func RunWorkspace(g *graph.Graph, th simdef.Threshold, opt Options, ws *engine.Workspace) (*result.Result, error) {
 	if opt.Workers < 1 {
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -64,7 +65,7 @@ func RunWorkspace(g *graph.Graph, th simdef.Threshold, opt Options, ws *engine.W
 	// Phase 1+2: exhaustive similarity computation and role assignment.
 	// Each vertex evaluates all of its own directed edges — twice the
 	// minimum work, as in SCAN-XP.
-	sched.ForEachVertexStatic(opt.Workers, n, func(u int32, w int) {
+	err := sched.ForEachVertexStatic(opt.Workers, n, func(u int32, w int) {
 		du := g.Degree(u)
 		var similar int32
 		uOff := g.Off[u]
@@ -84,6 +85,9 @@ func RunWorkspace(g *graph.Graph, th simdef.Threshold, opt Options, ws *engine.W
 			roles[u] = result.RoleNonCore
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Phase 3: parallel core clustering over similar core-core edges.
 	var uf *unionfind.Concurrent
@@ -92,7 +96,7 @@ func RunWorkspace(g *graph.Graph, th simdef.Threshold, opt Options, ws *engine.W
 	} else {
 		uf = unionfind.NewConcurrent(n)
 	}
-	sched.ForEachVertexStatic(opt.Workers, n, func(u int32, w int) {
+	err = sched.ForEachVertexStatic(opt.Workers, n, func(u int32, w int) {
 		if roles[u] != result.RoleCore {
 			return
 		}
@@ -103,6 +107,9 @@ func RunWorkspace(g *graph.Graph, th simdef.Threshold, opt Options, ws *engine.W
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Phase 4: cluster ids and non-core memberships.
 	coreClusterID := make([]int32, n)
@@ -133,7 +140,7 @@ func RunWorkspace(g *graph.Graph, th simdef.Threshold, opt Options, ws *engine.W
 	}
 	var mu sync.Mutex
 	var nonCore []result.Membership
-	sched.ForEachVertexStatic(opt.Workers, n, func(u int32, w int) {
+	err = sched.ForEachVertexStatic(opt.Workers, n, func(u int32, w int) {
 		if roles[u] != result.RoleCore {
 			return
 		}
@@ -151,6 +158,9 @@ func RunWorkspace(g *graph.Graph, th simdef.Threshold, opt Options, ws *engine.W
 			mu.Unlock()
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	res := &result.Result{
 		Eps:           th.Eps.String(),
@@ -170,5 +180,5 @@ func RunWorkspace(g *graph.Graph, th simdef.Threshold, opt Options, ws *engine.W
 		CompSimCalls: calls,
 		Total:        time.Since(start),
 	}
-	return res
+	return res, nil
 }

@@ -16,7 +16,10 @@ func TestGroundTruthCorpus(t *testing.T) {
 		tc := tc
 		t.Run(tc.Name, func(t *testing.T) {
 			for _, th := range algotest.Params() {
-				r := Run(tc.G, th, Options{Kernel: intersect.Merge, Workers: 4})
+				r, err := Run(tc.G, th, Options{Kernel: intersect.Merge, Workers: 4})
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
 				if err := algotest.CheckGroundTruth(tc.G, r, th); err != nil {
 					t.Fatalf("%s: %v", tc.Name, err)
 				}
@@ -30,7 +33,10 @@ func TestMatchesSCAN(t *testing.T) {
 		g := algotest.RandomGraph(seed)
 		th := algotest.RandomThreshold(seed)
 		want := scan.Run(g, th, scan.Options{Kernel: intersect.Merge})
-		got := Run(g, th, Options{Kernel: intersect.Merge, Workers: int(wRaw%6) + 1})
+		got, err := Run(g, th, Options{Kernel: intersect.Merge, Workers: int(wRaw%6) + 1})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
 		return result.Equal(want, got) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
@@ -44,7 +50,10 @@ func TestExhaustiveWorkload(t *testing.T) {
 	g := algotest.RandomGraph(51)
 	for _, eps := range []string{"0.2", "0.8"} {
 		th, _ := simdef.NewThreshold(eps, 5)
-		r := Run(g, th, Options{Kernel: intersect.Merge, Workers: 3})
+		r, err := Run(g, th, Options{Kernel: intersect.Merge, Workers: 3})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
 		if r.Stats.CompSimCalls != g.NumDirectedEdges() {
 			t.Errorf("eps=%s: CompSimCalls = %d, want %d", eps, r.Stats.CompSimCalls, g.NumDirectedEdges())
 		}
@@ -54,9 +63,15 @@ func TestExhaustiveWorkload(t *testing.T) {
 func TestWorkerIndependence(t *testing.T) {
 	g := algotest.RandomGraph(53)
 	th, _ := simdef.NewThreshold("0.4", 2)
-	base := Run(g, th, Options{Workers: 1})
+	base, err := Run(g, th, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	for _, w := range []int{2, 7, 32} {
-		r := Run(g, th, Options{Workers: w})
+		r, err := Run(g, th, Options{Workers: w})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
 		if err := result.Equal(base, r); err != nil {
 			t.Errorf("workers=%d changes output: %v", w, err)
 		}
@@ -66,7 +81,10 @@ func TestWorkerIndependence(t *testing.T) {
 func TestStats(t *testing.T) {
 	g := algotest.RandomGraph(55)
 	th, _ := simdef.NewThreshold("0.4", 2)
-	r := Run(g, th, Options{Workers: 2})
+	r, err := Run(g, th, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if r.Stats.Algorithm != "SCAN-XP" || r.Stats.Workers != 2 || r.Stats.Total <= 0 {
 		t.Errorf("stats = %+v", r.Stats)
 	}

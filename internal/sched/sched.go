@@ -18,11 +18,14 @@ package sched
 import (
 	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ppscan/internal/fault"
 	"ppscan/internal/obsv"
+	"ppscan/internal/result"
 )
 
 // DefaultDegreeThreshold is the task-granularity constant tuned in the
@@ -89,6 +92,14 @@ type Options struct {
 	DegreeThreshold int64
 	// Metrics, when non-nil, receives scheduler telemetry.
 	Metrics *Metrics
+	// Phase labels the phase for fault reporting: a contained worker
+	// panic carries it in result.WorkerPanicError.Phase. Optional.
+	Phase string
+	// StallTimeout arms the Crew barrier's watchdog: a phase in which no
+	// task completes for this long is abandoned with result.ErrStalled.
+	// Zero (the default) waits indefinitely. Crew only — the per-phase
+	// Pool path ignores it.
+	StallTimeout time.Duration
 }
 
 func (o Options) normalized() Options {
@@ -113,9 +124,10 @@ func (o Options) normalized() Options {
 //     per-worker scratch state without synchronization.
 //
 // ForEachVertex blocks until every submitted task completes (the paper's
-// JoinThreadPool barrier).
-func ForEachVertex(opt Options, n int32, need func(int32) bool, deg func(int32) int32, process func(u int32, worker int)) {
-	_ = ForEachVertexCtx(context.Background(), opt, n, need, deg, process)
+// JoinThreadPool barrier). A panic inside process is contained and
+// returned as a *result.WorkerPanicError; nil means a clean run.
+func ForEachVertex(opt Options, n int32, need func(int32) bool, deg func(int32) int32, process func(u int32, worker int)) error {
+	return ForEachVertexCtx(context.Background(), opt, n, need, deg, process)
 }
 
 // ForEachVertexCtx is ForEachVertex with cooperative cancellation: when ctx
@@ -123,7 +135,9 @@ func ForEachVertex(opt Options, n int32, need func(int32) bool, deg func(int32) 
 // without running, and in-flight tasks finish their current range before
 // the pool joins. Cancellation granularity is therefore one task batch
 // (~DegreeThreshold accumulated degree), the unit Algorithm 5 schedules.
-// Returns ctx.Err() when the run was cut short, nil otherwise.
+// Returns a *result.WorkerPanicError when a worker panicked (the panic is
+// contained; see Pool), ctx.Err() when the run was cut short, nil
+// otherwise.
 func ForEachVertexCtx(ctx context.Context, opt Options, n int32, need func(int32) bool, deg func(int32) int32, process func(u int32, worker int)) error {
 	opt = opt.normalized()
 	if n <= 0 {
@@ -137,6 +151,7 @@ func ForEachVertexCtx(ctx context.Context, opt Options, n int32, need func(int32
 			}
 		}
 	})
+	pool.phase = opt.Phase
 	if ctx != nil && ctx.Done() != nil {
 		release := context.AfterFunc(ctx, pool.Cancel)
 		defer release()
@@ -147,7 +162,7 @@ func ForEachVertexCtx(ctx context.Context, opt Options, n int32, need func(int32
 		// The cancellation flag is polled once per submission and every
 		// 8192 vertices (the master loop is otherwise a tight accumulation
 		// over skipped vertices).
-		if u&8191 == 0 && pool.Canceled() {
+		if u&8191 == 0 && pool.quiesced() {
 			break
 		}
 		if !need(u) {
@@ -158,15 +173,17 @@ func ForEachVertexCtx(ctx context.Context, opt Options, n int32, need func(int32
 			pool.submit(Range{Beg: beg, End: u + 1}, degSum)
 			degSum = 0
 			beg = u + 1
-			if pool.Canceled() {
+			if pool.quiesced() {
 				break
 			}
 		}
 	}
-	if !pool.Canceled() {
+	if !pool.quiesced() {
 		pool.submit(Range{Beg: beg, End: n}, degSum)
 	}
-	pool.Join()
+	if err := pool.Join(); err != nil {
+		return err
+	}
 	if ctx != nil {
 		return ctx.Err()
 	}
@@ -176,18 +193,22 @@ func ForEachVertexCtx(ctx context.Context, opt Options, n int32, need func(int32
 // ForEachVertexStatic runs process for every vertex in [0, n) using fixed
 // equal-size blocks instead of degree-based sizing. It exists as the
 // ablation baseline for the scheduler experiment ("static" scheduling) and
-// for phases whose per-vertex cost is uniform.
-func ForEachVertexStatic(workers int, n int32, process func(u int32, worker int)) {
+// for phases whose per-vertex cost is uniform. A panic inside process is
+// contained and returned as a *result.WorkerPanicError (phase "static");
+// unlike the dynamic schedulers there is no drain — each block runs to
+// its panic or completion independently.
+func ForEachVertexStatic(workers int, n int32, process func(u int32, worker int)) error {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if n <= 0 {
-		return
+		return nil
 	}
 	if int32(workers) > n {
 		workers = int(n)
 	}
 	var wg sync.WaitGroup
+	var panicErr atomic.Pointer[result.WorkerPanicError]
 	chunk := (n + int32(workers) - 1) / int32(workers)
 	for w := 0; w < workers; w++ {
 		beg := int32(w) * chunk
@@ -202,12 +223,34 @@ func ForEachVertexStatic(workers int, n int32, process func(u int32, worker int)
 		//lint:allowalloc one goroutine+closure per static block per phase; static mode trades this for zero queue traffic
 		go func(beg, end int32, worker int) {
 			defer wg.Done()
+			defer recoverStatic(&panicErr, worker)
+			if err := fault.Inject(fault.WorkerTask); err != nil {
+				panic(err)
+			}
 			for u := beg; u < end; u++ {
 				process(u, worker)
 			}
 		}(beg, end, w)
 	}
 	wg.Wait()
+	if wpe := panicErr.Load(); wpe != nil {
+		return wpe
+	}
+	return nil
+}
+
+// recoverStatic is the deferred recovery for static blocks: first panic
+// wins, the goroutine dies quietly, the other blocks run to completion.
+func recoverStatic(panicErr *atomic.Pointer[result.WorkerPanicError], worker int) {
+	if r := recover(); r != nil {
+		//lint:allowalloc panic containment path only; never taken on a healthy run
+		panicErr.CompareAndSwap(nil, &result.WorkerPanicError{
+			Phase:  "static",
+			Worker: worker,
+			Value:  r,
+			Stack:  debug.Stack(),
+		})
+	}
 }
 
 // task is one queued unit of work: the vertex range, its degree-sum
@@ -221,14 +264,26 @@ type task struct {
 
 // Pool is a fixed worker pool consuming Range tasks. It is created per
 // phase; Submit enqueues, Join closes the queue and waits for drain.
+//
+// Fault containment mirrors Crew's: each task runs under a recover, a
+// panicking task records a *result.WorkerPanicError (first wins) and
+// trips the failed flag so remaining tasks drain, and Join returns the
+// recorded error.
 type Pool struct {
 	tasks chan task
 	wg    sync.WaitGroup
 	m     *Metrics
+	run   func(r Range, worker int)
+	phase string
 	// canceled makes workers drain queued tasks without running them; the
 	// flag is checked once per task, so a cancelled pool quiesces after at
 	// most one in-flight range per worker.
 	canceled atomic.Bool
+	// failed is canceled's panic-path twin; panicErr holds the first
+	// recovered panic; progress counts completed tasks.
+	failed   atomic.Bool
+	panicErr atomic.Pointer[result.WorkerPanicError]
+	progress atomic.Uint64
 	// Submitted counts tasks submitted, for scheduler introspection tests.
 	submitted int
 }
@@ -247,35 +302,66 @@ func NewPoolObserved(workers int, m *Metrics, run func(r Range, worker int)) *Po
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{tasks: make(chan task, 4*workers), m: m}
-	timed := m.timed()
+	p := &Pool{tasks: make(chan task, 4*workers), m: m, run: run}
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func(worker int) {
-			defer p.wg.Done()
-			for t := range p.tasks {
-				if p.canceled.Load() {
-					continue // drain without running
-				}
-				if !timed {
-					run(t.r, worker)
-					continue
-				}
-				start := time.Now()
-				m.QueueWaitNs.Observe(start.Sub(t.submitAt).Nanoseconds())
-				sp := m.Tracer.Begin(m.spanName(), m.TIDOffset+worker)
-				run(t.r, worker)
-				if m.Tracer != nil {
-					//lint:allowalloc span arguments; only built when tracing is on
-					sp.EndArgs(map[string]any{
-						"beg": t.r.Beg, "end": t.r.End, "deg": t.deg,
-					})
-				}
-				m.WorkerBusyNs.Add(worker, time.Since(start).Nanoseconds())
-			}
-		}(w)
+		go p.work(w)
 	}
 	return p
+}
+
+func (p *Pool) work(worker int) {
+	defer p.wg.Done()
+	// recover() lives in runTask's deferred recoverTask — one recovery
+	// scope per task, so a panic never kills the worker goroutine.
+	//lint:panicsafe per-task recovery in runTask via recoverTask; the loop itself cannot panic
+	for t := range p.tasks {
+		p.runTask(t, worker)
+	}
+}
+
+// runTask executes one queued range under a per-task recovery scope.
+func (p *Pool) runTask(t task, worker int) {
+	defer p.recoverTask(worker)
+	if p.canceled.Load() || p.failed.Load() {
+		return // drain without running
+	}
+	if err := fault.Inject(fault.WorkerTask); err != nil {
+		// Workers have no error channel; injected error-action faults at
+		// this point surface through the same containment path as panics.
+		panic(err)
+	}
+	if m := p.m; m.timed() {
+		start := time.Now()
+		m.QueueWaitNs.Observe(start.Sub(t.submitAt).Nanoseconds())
+		sp := m.Tracer.Begin(m.spanName(), m.TIDOffset+worker)
+		p.run(t.r, worker)
+		if m.Tracer != nil {
+			//lint:allowalloc span arguments; only built when tracing is on
+			sp.EndArgs(map[string]any{
+				"beg": t.r.Beg, "end": t.r.End, "deg": t.deg,
+			})
+		}
+		m.WorkerBusyNs.Add(worker, time.Since(start).Nanoseconds())
+	} else {
+		p.run(t.r, worker)
+	}
+	p.progress.Add(1)
+}
+
+// recoverTask converts a task panic into a recorded error and trips the
+// failed flag so the phase quiesces like a cancelled one.
+func (p *Pool) recoverTask(worker int) {
+	if r := recover(); r != nil {
+		//lint:allowalloc panic containment path only; never taken on a healthy run
+		p.panicErr.CompareAndSwap(nil, &result.WorkerPanicError{
+			Phase:  p.phase,
+			Worker: worker,
+			Value:  r,
+			Stack:  debug.Stack(),
+		})
+		p.failed.Store(true)
+	}
 }
 
 // Submit enqueues a task; empty ranges are dropped.
@@ -315,8 +401,22 @@ func (p *Pool) Cancel() { p.canceled.Store(true) }
 // Canceled reports whether Cancel has been called.
 func (p *Pool) Canceled() bool { return p.canceled.Load() }
 
-// Join closes the queue and blocks until all workers finish.
-func (p *Pool) Join() {
+// quiesced reports whether the pool is draining (cancelled or failed),
+// i.e. submitting further tasks is pointless.
+func (p *Pool) quiesced() bool { return p.canceled.Load() || p.failed.Load() }
+
+// Progress returns the number of tasks completed so far (monotone; the
+// phase watchdog samples it to detect stalls).
+func (p *Pool) Progress() uint64 { return p.progress.Load() }
+
+// Join closes the queue and blocks until all workers finish. It returns
+// the first contained worker panic as a *result.WorkerPanicError, or nil
+// for a clean (or merely cancelled) run.
+func (p *Pool) Join() error {
 	close(p.tasks)
 	p.wg.Wait()
+	if wpe := p.panicErr.Load(); wpe != nil {
+		return wpe
+	}
+	return nil
 }

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ppscan"
+	"ppscan/internal/fault"
+	"ppscan/internal/gen"
+	"ppscan/internal/obsv"
+)
+
+// chaosServerGraph is large enough that each request runs several
+// scheduler tasks, giving WorkerTask injection points plenty of hits.
+func chaosServerGraph() *httptest.Server {
+	return httptest.NewServer(New(gen.Roll(300, 8, 3), 2).Handler())
+}
+
+// TestAcceptancePanicTo500AndRecovery is the PR's acceptance scenario: an
+// injected worker panic answers HTTP 500 with a structured body,
+// server.panics increments, and the immediately following identical
+// request completes correctly from a pristine pooled workspace.
+func TestAcceptancePanicTo500AndRecovery(t *testing.T) {
+	t.Cleanup(fault.Disable)
+	fault.Disable()
+	g := gen.Roll(300, 8, 3)
+
+	// Reference answer, computed clean and out-of-band.
+	ref, err := ppscan.Run(g, ppscan.Options{Epsilon: "0.5", Mu: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := New(g, 2)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Exactly one fault: the first scheduler task of the first request
+	// panics.
+	fault.Enable(&fault.Plan{Rules: []fault.Rule{
+		{Point: fault.WorkerTask, Action: fault.ActPanic, Start: 1, Count: 1},
+	}})
+	body := get(t, ts, "/cluster?eps=0.5&mu=3", http.StatusInternalServerError)
+	if body["kind"] != "worker_panic" {
+		t.Errorf("500 body kind = %v, want worker_panic (body: %v)", body["kind"], body)
+	}
+	if body["phase"] == "" || body["phase"] == nil {
+		t.Errorf("500 body names no phase: %v", body)
+	}
+	if body["error"] == "" || body["error"] == nil {
+		t.Errorf("500 body carries no error message: %v", body)
+	}
+	fault.Disable()
+
+	metrics := get(t, ts, "/metrics", http.StatusOK)
+	if p, _ := metrics[obsv.MetricServerPanics].(float64); p != 1 {
+		t.Errorf("server.panics = %v, want 1", metrics[obsv.MetricServerPanics])
+	}
+
+	// The very next request reuses the workspace the panic poisoned; the
+	// pool must have reset it, and the answer must be exact.
+	body = get(t, ts, "/cluster?eps=0.5&mu=3", http.StatusOK)
+	if got := int(body["clusters"].(float64)); got != ref.NumClusters() {
+		t.Errorf("post-panic clusters = %d, want %d", got, ref.NumClusters())
+	}
+	if got := int(body["cores"].(float64)); got != ref.NumCores() {
+		t.Errorf("post-panic cores = %d, want %d", got, ref.NumCores())
+	}
+	if got := int(body["memberships"].(float64)); got != len(ref.NonCore) {
+		t.Errorf("post-panic memberships = %d, want %d", got, len(ref.NonCore))
+	}
+	metrics = get(t, ts, "/metrics", http.StatusOK)
+	if r, _ := metrics[obsv.MetricWorkspaceResets].(float64); r < 1 {
+		t.Errorf("workspace.pool.resets = %v, want >= 1", metrics[obsv.MetricWorkspaceResets])
+	}
+}
+
+// TestServerChaosSurvives100FaultedRequests hammers the server with a
+// recurring panic schedule: every request either answers 200 with a sane
+// body or a structured 500 — the process survives all of them, panics are
+// counted, and a clean request afterwards is correct.
+func TestServerChaosSurvives100FaultedRequests(t *testing.T) {
+	t.Cleanup(fault.Disable)
+	fault.Disable()
+	g := gen.Roll(300, 8, 3)
+	ref, err := ppscan.Run(g, ppscan.Options{Epsilon: "0.5", Mu: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(g, 2).WithCacheSize(1) // tiny cache so requests actually compute
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A panic every 23rd task hit, forever (Count 0 = unlimited), plus a
+	// sprinkle of stragglers: a request runs roughly seven tasks (one per
+	// phase on this small graph), so panics land in a fraction of the
+	// requests and the rest must still answer correctly mid-storm.
+	// Cache-busting mu values force computations.
+	fault.Enable(&fault.Plan{Rules: []fault.Rule{
+		{Point: fault.WorkerTask, Action: fault.ActPanic, Start: 7, Every: 23},
+		{Point: fault.WorkerTask, Action: fault.ActDelay, Start: 3, Every: 17, Delay: 200 * time.Microsecond},
+	}})
+	const reqs = 120
+	var ok200, err500 int
+	for i := 0; i < reqs; i++ {
+		path := fmt.Sprintf("/cluster?eps=0.5&mu=%d", 1+i%4)
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("request %d: transport error %v (did the server die?)", i, err)
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			ok200++
+		case http.StatusInternalServerError:
+			err500++
+		default:
+			t.Errorf("request %d: unexpected status %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if err500 == 0 {
+		t.Error("no request hit an injected fault; the schedule never fired")
+	}
+	t.Logf("chaos: %d ok / %d contained-500 over %d requests", ok200, err500, reqs)
+	fault.Disable()
+
+	metrics := get(t, ts, "/metrics", http.StatusOK)
+	if p, _ := metrics[obsv.MetricServerPanics].(float64); int(p) != err500 {
+		t.Errorf("server.panics = %v, want %d (one per 500)", p, err500)
+	}
+
+	// Clean request after the storm: exact answer.
+	body := get(t, ts, "/cluster?eps=0.5&mu=3", http.StatusOK)
+	if got := int(body["clusters"].(float64)); got != ref.NumClusters() {
+		t.Errorf("post-chaos clusters = %d, want %d", got, ref.NumClusters())
+	}
+	if got := int(body["memberships"].(float64)); got != len(ref.NonCore) {
+		t.Errorf("post-chaos memberships = %d, want %d", got, len(ref.NonCore))
+	}
+}
+
+// TestServerWatchdogStall arms the server watchdog and injects a straggler
+// sleeping far past the window: the request answers 500 naming the stall,
+// server.stalls increments, the fatal workspace is discarded (not pooled),
+// and the next request computes correctly on a fresh workspace.
+func TestServerWatchdogStall(t *testing.T) {
+	t.Cleanup(fault.Disable)
+	fault.Disable()
+	g := gen.Roll(300, 8, 3)
+	ref, err := ppscan.Run(g, ppscan.Options{Epsilon: "0.5", Mu: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(g, 2).WithWatchdog(40 * time.Millisecond)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	fault.Enable(&fault.Plan{Rules: []fault.Rule{
+		{Point: fault.WorkerTask, Action: fault.ActDelay, Start: 1, Count: 1, Delay: 3 * time.Second},
+	}})
+	start := time.Now()
+	body := get(t, ts, "/cluster?eps=0.5&mu=3", http.StatusInternalServerError)
+	if time.Since(start) >= 3*time.Second {
+		t.Error("request waited for the straggler; watchdog did not abandon")
+	}
+	if body["kind"] != "watchdog_stall" {
+		t.Errorf("500 body kind = %v, want watchdog_stall (body: %v)", body["kind"], body)
+	}
+	fault.Disable()
+
+	metrics := get(t, ts, "/metrics", http.StatusOK)
+	if s, _ := metrics[obsv.MetricServerStalls].(float64); s != 1 {
+		t.Errorf("server.stalls = %v, want 1", metrics[obsv.MetricServerStalls])
+	}
+	if d, _ := metrics[obsv.MetricWorkspaceDiscards].(float64); d < 1 {
+		t.Errorf("workspace.pool.discards = %v, want >= 1 (fatal workspace must not be reused)", metrics[obsv.MetricWorkspaceDiscards])
+	}
+
+	body = get(t, ts, "/cluster?eps=0.5&mu=3", http.StatusOK)
+	if got := int(body["clusters"].(float64)); got != ref.NumClusters() {
+		t.Errorf("post-stall clusters = %d, want %d", got, ref.NumClusters())
+	}
+}
+
+// TestHandlerPanicContained drives the last-resort middleware recover: a
+// panic out of the handler itself (not a worker) still answers 500 and
+// counts, and the server keeps serving.
+func TestHandlerPanicContained(t *testing.T) {
+	g := gen.Roll(100, 6, 3)
+	srv := New(g, 2)
+	srv.runFn = func(ctx context.Context, opt ppscan.Options, ws *ppscan.Workspace) (*ppscan.Result, error) {
+		panic("synthetic coordinator panic")
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := get(t, ts, "/cluster?eps=0.5&mu=3", http.StatusInternalServerError)
+	if body["kind"] != "worker_panic" {
+		t.Errorf("kind = %v, want worker_panic (runDirect converts coordinator panics)", body["kind"])
+	}
+	metrics := get(t, ts, "/metrics", http.StatusOK)
+	if p, _ := metrics[obsv.MetricServerPanics].(float64); p < 1 {
+		t.Errorf("server.panics = %v, want >= 1", metrics[obsv.MetricServerPanics])
+	}
+	// Healthz still answers: the process survived.
+	get(t, ts, "/healthz", http.StatusOK)
+}

@@ -34,6 +34,7 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -41,6 +42,7 @@ import (
 
 	"ppscan"
 	"ppscan/graph"
+	"ppscan/internal/fault"
 	"ppscan/internal/obsv"
 	"ppscan/quality"
 )
@@ -71,6 +73,10 @@ type Server struct {
 	sem        chan struct{}
 	reqTimeout time.Duration
 	draining   atomic.Bool
+
+	// watchdog is the per-phase stall timeout threaded into direct
+	// computations (see WithWatchdog); zero disables.
+	watchdog time.Duration
 
 	// runFn performs one direct clustering computation on a pooled
 	// workspace. It exists as a test seam (admission tests substitute a
@@ -108,10 +114,16 @@ func New(g *graph.Graph, workers int) *Server {
 		obsv.MetricAdmissionRejected, obsv.MetricAdmissionTimeouts,
 		obsv.MetricAdmissionCanceled, obsv.MetricAdmissionDegradedCache,
 		obsv.MetricAdmissionDegradedIndex,
+		obsv.MetricServerPanics, obsv.MetricServerStalls,
 	} {
 		s.reg.Counter(name)
 	}
 	s.reg.Gauge(obsv.MetricAdmissionInFlight)
+	// The engine-side containment counters live in the process-global
+	// registry; touch them too so a clean server's /metrics proves they
+	// are zero rather than omitting the keys.
+	obsv.Default().Counter(obsv.MetricCorePanics)
+	obsv.Default().Counter(obsv.MetricWatchdogStalls)
 	return s
 }
 
@@ -164,6 +176,20 @@ func (s *Server) WithAdmission(maxInflight int, requestTimeout time.Duration) *S
 	return s
 }
 
+// WithWatchdog arms the per-phase stall watchdog on direct computations:
+// a run whose scheduler makes no progress for d is abandoned with a 500
+// response carrying partial statistics, and the workspace involved is
+// discarded rather than pooled (see ppscan.Options.StallTimeout). Zero —
+// the default — disables the watchdog; the stall detection latency is one
+// to two windows, so pick d well above the longest healthy phase.
+func (s *Server) WithWatchdog(d time.Duration) *Server {
+	if d < 0 {
+		d = 0
+	}
+	s.watchdog = d
+	return s
+}
+
 // WithAlgorithm sets the algorithm used when a request omits the algo
 // query parameter (default ppscan.AlgoPPSCAN). The name must be a
 // registered backend — see ppscan.EngineNames.
@@ -201,14 +227,17 @@ type statusRecorder struct {
 	http.ResponseWriter
 	status int
 	bytes  int
+	wrote  bool // headers sent; a late panic can no longer switch to 500
 }
 
 func (r *statusRecorder) WriteHeader(status int) {
 	r.status = status
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(status)
 }
 
 func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true // an implicit 200 if WriteHeader was never called
 	n, err := r.ResponseWriter.Write(b)
 	r.bytes += n
 	return n, err
@@ -226,7 +255,7 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 		t0 := time.Now()
 		inFlight.Add(1)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		h(rec, r)
+		s.serveContained(rec, r, h)
 		d := time.Since(t0)
 		inFlight.Add(-1)
 		reqs.Inc()
@@ -240,6 +269,35 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 				float64(d)/float64(time.Millisecond))
 		}
 	})
+}
+
+// serveContained runs one endpoint handler under the last-resort panic
+// barrier: a panic that escapes every inner containment layer (the worker
+// recoveries, runDirect's deferred release) is recovered here so one bad
+// request cannot crash the process. The client gets a structured 500 when
+// the response has not started yet; a response already in flight is left
+// truncated — the connection, not the process, absorbs the damage.
+func (s *Server) serveContained(rec *statusRecorder, r *http.Request, h http.HandlerFunc) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		s.reg.Counter(obsv.MetricServerPanics).Inc()
+		if s.logger != nil {
+			s.logger.Printf("panic serving path=%s query=%q: %v\n%s",
+				r.URL.Path, r.URL.RawQuery, v, debug.Stack())
+		}
+		if !rec.wrote {
+			writeError(rec, http.StatusInternalServerError,
+				fmt.Errorf("internal error: %v", v))
+		} else if rec.status < http.StatusInternalServerError {
+			// Too late to change the wire status; record it for metrics and
+			// the access log so the failure is not invisible.
+			rec.status = http.StatusInternalServerError
+		}
+	}()
+	h(rec, r)
 }
 
 // handleMetrics serves the flat expvar-style metrics JSON: the server
@@ -272,9 +330,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	out[obsv.MetricWorkspaceHits] = ps.Hits
 	out[obsv.MetricWorkspaceMisses] = ps.Misses
 	out[obsv.MetricWorkspaceDiscards] = ps.Discards
+	out[obsv.MetricWorkspaceResets] = ps.Resets
 	out[obsv.MetricWorkspaceRetained] = ps.Retained
 	out[obsv.MetricWorkspaceRetainedBytes] = ps.RetainedBytes
 	out[obsv.MetricWorkspaceCapacity] = ps.Capacity
+	fs := fault.Snapshot()
+	out[obsv.MetricFaultPanics] = fs.Panics
+	out[obsv.MetricFaultDelays] = fs.Delays
+	out[obsv.MetricFaultErrors] = fs.Errors
+	out[obsv.MetricFaultRetries] = fs.Retries
+	out[obsv.MetricServerWatchdogNs] = s.watchdog.Nanoseconds()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -384,23 +449,48 @@ func (s *Server) resolve(ctx context.Context, eps string, mu int, algo ppscan.Al
 	if s.ix != nil {
 		return s.queryIndex(key, eps, mu)
 	}
-	ws := s.pool.Acquire(int(s.g.NumVertices()), int(s.g.NumEdges()))
-	res, err := s.runFn(ctx, ppscan.Options{
-		Algorithm: algo, Epsilon: eps, Mu: mu, Workers: s.workers,
-	}, ws)
+	res, err := s.runDirect(ctx, eps, mu, algo)
 	if err != nil {
-		s.pool.Release(ws)
 		return nil, err // classified by writeResolveError
 	}
-	// The result may alias ws scratch, which the next request will reuse:
-	// detach it before the workspace goes back to the pool. The clone is
-	// what the cache retains and all readers see.
-	res = res.Clone()
-	s.pool.Release(ws)
 	s.mu.Lock()
 	s.cache.add(key, res)
 	s.mu.Unlock()
 	return res, nil
+}
+
+// runDirect performs one algorithm run on a pooled workspace. The single
+// deferred Release is the only return path for the workspace — success,
+// engine error, and panic all funnel through it, so a failed request can
+// never leak a workspace out of the pool. The engines contain their own
+// worker panics (returning *result.WorkerPanicError) and poison the
+// workspace themselves; the recover here is the belt-and-suspenders layer
+// for a panic on the coordinator path (e.g. a sequential baseline, or
+// Result.Clone on a corrupt result), which poisons and converts it to the
+// same structured error so writeResolveError needs only one rule.
+func (s *Server) runDirect(ctx context.Context, eps string, mu int, algo ppscan.Algorithm) (res *ppscan.Result, err error) {
+	ws := s.pool.Acquire(int(s.g.NumVertices()), int(s.g.NumEdges()))
+	defer s.pool.Release(ws)
+	defer func() {
+		if v := recover(); v != nil {
+			ws.Poison()
+			res = nil
+			err = &ppscan.WorkerPanicError{
+				Phase: "serve", Worker: -1, Value: v, Stack: debug.Stack(),
+			}
+		}
+	}()
+	r, err := s.runFn(ctx, ppscan.Options{
+		Algorithm: algo, Epsilon: eps, Mu: mu, Workers: s.workers,
+		StallTimeout: s.watchdog,
+	}, ws)
+	if err != nil {
+		return nil, err
+	}
+	// The result may alias ws scratch, which the next request will reuse:
+	// detach it before the deferred Release hands the workspace back. The
+	// clone is what the cache retains and all readers see.
+	return r.Clone(), nil
 }
 
 // queryIndex answers from the attached GS*-Index and caches the result.
@@ -441,6 +531,7 @@ func (s *Server) retryAfterSecs() int {
 // writeResolveError maps a resolve failure to an HTTP response: saturation
 // becomes 429 + Retry-After, a deadline expiry 503 + Retry-After (the body
 // names the aborted phase from the PartialError), a client disconnect 503,
+// a contained worker panic or watchdog stall 500 with a structured body,
 // anything else 400.
 func (s *Server) writeResolveError(w http.ResponseWriter, err error) {
 	var pe *ppscan.PartialError
@@ -448,7 +539,30 @@ func (s *Server) writeResolveError(w http.ResponseWriter, err error) {
 	if errors.As(err, &pe) {
 		phase = pe.Phase
 	}
+	var wpe *ppscan.WorkerPanicError
 	switch {
+	case errors.As(err, &wpe):
+		// A contained worker panic: internal fault, not a client problem.
+		// The body carries the phase and worker for triage; the stack goes
+		// to the log, never the wire.
+		s.reg.Counter(obsv.MetricServerPanics).Inc()
+		if s.logger != nil {
+			s.logger.Printf("contained worker panic: phase=%s worker=%d value=%v\n%s",
+				wpe.Phase, wpe.Worker, wpe.Value, wpe.Stack)
+		}
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error":  wpe.Error(),
+			"kind":   "worker_panic",
+			"phase":  wpe.Phase,
+			"worker": wpe.Worker,
+		})
+	case errors.Is(err, ppscan.ErrStalled):
+		s.reg.Counter(obsv.MetricServerStalls).Inc()
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error": err.Error(),
+			"kind":  "watchdog_stall",
+			"phase": phase,
+		})
 	case errors.Is(err, errSaturated):
 		writeRetryError(w, http.StatusTooManyRequests, 1, err, phase)
 	case errors.Is(err, context.DeadlineExceeded):

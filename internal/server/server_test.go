@@ -146,10 +146,10 @@ func TestIndexServing(t *testing.T) {
 func TestVertexAndQualityErrorPaths(t *testing.T) {
 	ts := httptest.NewServer(New(testGraph(t), 2).Handler())
 	defer ts.Close()
-	get(t, ts, "/vertex?v=0&mu=2", http.StatusBadRequest)           // missing eps
-	get(t, ts, "/vertex?v=0&eps=9&mu=2", http.StatusBadRequest)     // bad eps reaches resolve
-	get(t, ts, "/quality?mu=2", http.StatusBadRequest)              // missing eps
-	get(t, ts, "/quality?eps=9&mu=2", http.StatusBadRequest)        // bad eps reaches resolve
+	get(t, ts, "/vertex?v=0&mu=2", http.StatusBadRequest)       // missing eps
+	get(t, ts, "/vertex?v=0&eps=9&mu=2", http.StatusBadRequest) // bad eps reaches resolve
+	get(t, ts, "/quality?mu=2", http.StatusBadRequest)          // missing eps
+	get(t, ts, "/quality?eps=9&mu=2", http.StatusBadRequest)    // bad eps reaches resolve
 	get(t, ts, "/quality?eps=0.7&mu=2&algo=bad", http.StatusBadRequest)
 }
 

@@ -37,6 +37,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"ppscan/graph"
 	"ppscan/internal/engine"
@@ -138,6 +139,11 @@ type Options struct {
 	// StaticScheduling disables ppSCAN's degree-based dynamic scheduler
 	// (ablation knob).
 	StaticScheduling bool
+	// StallTimeout arms the phase watchdog in the algorithms that support
+	// it (ppscan, ppscan-no, dist-scan): a phase or superstep making no
+	// scheduler progress for this long is abandoned with a *PartialError
+	// wrapping ErrStalled. Zero — the default — disables the watchdog.
+	StallTimeout time.Duration
 }
 
 // Run executes the selected algorithm on g and returns its clustering.
@@ -149,6 +155,18 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 // by context cancellation or deadline expiry: it carries the statistics
 // accumulated up to the abort point and unwraps to the context's error.
 type PartialError = result.PartialError
+
+// WorkerPanicError is the contained form of a panic raised inside a
+// parallel worker: the run aborts with a *PartialError wrapping one of
+// these (phase name, worker id, panic value, stack) instead of crashing
+// the process. The workspace involved is poisoned so pooled reuse starts
+// from a reset state.
+type WorkerPanicError = result.WorkerPanicError
+
+// ErrStalled is wrapped by the *PartialError a run returns when the phase
+// watchdog (Options.StallTimeout) detects a phase or superstep making no
+// scheduler progress for a full window.
+var ErrStalled = result.ErrStalled
 
 // RunContext is Run with cooperative cancellation. The parallel
 // multi-phase algorithms (ppscan, ppscan-no, dist-scan) check ctx at every
@@ -211,6 +229,7 @@ func RunWorkspace(ctx context.Context, g *graph.Graph, opt Options, ws *Workspac
 		Kernel:           opt.Kernel,
 		DegreeThreshold:  opt.DegreeThreshold,
 		StaticScheduling: opt.StaticScheduling,
+		StallTimeout:     opt.StallTimeout,
 	}, ws)
 }
 
