@@ -12,7 +12,7 @@ GOVULNCHECK_VERSION  ?= v1.1.4
 STATICCHECK          := $(TOOLS_BIN)/staticcheck
 GOVULNCHECK          := $(TOOLS_BIN)/govulncheck
 
-.PHONY: build test vet race check staticcheck govulncheck scanlint lint-fix-list bench bench-obsv bench-alloc alloc-gate chaos
+.PHONY: build test vet race check staticcheck govulncheck scanlint lint-fix-list bench bench-obsv bench-alloc alloc-gate chaos perf perf-baseline
 
 build:
 	$(GO) build ./...
@@ -73,17 +73,45 @@ chaos:
 	$(GO) test -race -count 1 -run 'TestChaos|TestWatchdog|TestDistscanSuperstepRetry|TestDistscanRetryExhaustion|TestAcceptance|TestServerChaos|TestServerWatchdog|TestHandlerPanic' \
 		./internal/engine/ ./internal/server/
 
+# The performance gate (cmd/perfbench + internal/perfgate): measure the
+# canonical suite — per-engine warm/cold latency, warm allocs, P1–P7 phase
+# durations, kernel throughput, server request latency — and compare
+# medians against the newest same-host BENCH_*.json under $(PERF_DIR).
+# Regression beyond tolerance exits non-zero with a per-metric report and
+# does NOT advance the baseline. See OPERATIONS.md §11 for triage.
+PERF_DIR ?= bench
+perf:
+	@mkdir -p $(PERF_DIR)
+	$(GO) run ./cmd/perfbench -dir $(PERF_DIR)
+
+# First recording on a new machine (or an intentional baseline reset after
+# an accepted trade-off): write the report even if the gate would fail.
+perf-baseline:
+	@mkdir -p $(PERF_DIR)
+	$(GO) run ./cmd/perfbench -dir $(PERF_DIR) -force-write
+
 # The pre-merge gate: static checks, the full suite under the race
 # detector (the parallel phases, scheduler telemetry and HTTP middleware
-# are all exercised concurrently), the chaos/fault-containment suite, then
-# the non-race allocation gate.
+# are all exercised concurrently), the chaos/fault-containment suite, the
+# non-race allocation gate, then the performance gate against the local
+# trajectory.
 check: vet scanlint staticcheck govulncheck
 	$(GO) test -race ./...
 	$(MAKE) chaos
 	$(MAKE) alloc-gate
+	$(MAKE) perf
 
+# Benchmark sweep: the facade round-trips plus the engine- and server-level
+# serving benchmarks, with -count 6 so the outputs feed benchstat:
+#   make bench > old.txt ; <edit> ; make bench > new.txt
+#   benchstat old.txt new.txt
+# (benchstat is golang.org/x/perf/cmd/benchstat; without it, eyeball the
+# per-count spread.) For the gated, trajectory-recorded numbers use
+# `make perf` instead — bench is for interactive A/B comparison.
 bench:
-	$(GO) test -bench . -benchtime 10x .
+	$(GO) test -bench . -benchtime 10x -count 6 .
+	$(GO) test -run xxx -bench . -benchtime 20x -count 6 ./internal/engine/
+	$(GO) test -run xxx -bench . -benchtime 20x -count 6 ./internal/server/
 
 # Instrumented-vs-nop registry overhead on the core engine (<2% target;
 # numbers recorded in EXPERIMENTS.md).

@@ -1,0 +1,391 @@
+// Command perfbench measures the canonical performance suite and gates it
+// against the recorded trajectory (internal/perfgate): per-engine warm and
+// cold latency, warm-path allocations, per-phase P1–P7 durations,
+// intersection-kernel throughput, and end-to-end server request latency —
+// all on deterministic synthetic graphs, all medians-of-N.
+//
+// Each run emits a schema-versioned BENCH_<stamp>.json into -dir and
+// compares itself against the newest baseline from the same host
+// fingerprint. Within tolerance (or improved): the new report joins the
+// trajectory and the exit status is 0. Regressed: a per-metric report goes
+// to stdout, the exit status is 1, and the regressed report is NOT
+// written, so a bad commit cannot quietly become the next baseline
+// (override with -force-write after an intentional trade-off).
+//
+// `make perf` runs the suite locally; CI runs it with -tolerance-scale 2
+// (shared runners are noisy) and uploads the report and the slowest run's
+// trace (-trace-out) as artifacts. See OPERATIONS.md §11 for triage.
+//
+//	perfbench -quick -runs 3          # fast smoke (small graph)
+//	perfbench -baseline BENCH_x.json  # compare against a specific point
+//	perfbench -inject-delay 200us     # self-test: must exit 1
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"text/tabwriter"
+	"time"
+
+	"ppscan"
+	"ppscan/graph"
+	"ppscan/internal/fault"
+	"ppscan/internal/gen"
+	"ppscan/internal/intersect"
+	"ppscan/internal/obsv"
+	"ppscan/internal/perfgate"
+	"ppscan/internal/server"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout))
+}
+
+// config carries the parsed suite parameters.
+type config struct {
+	dir         string
+	runs        int
+	quick       bool
+	scale       float64
+	baseline    string
+	anyHost     bool
+	noWrite     bool
+	forceWrite  bool
+	injectDelay time.Duration
+	traceOut    string
+	engines     []string
+	eps         string
+	mu          int
+}
+
+// realMain is the testable entry point: exit 0 = within tolerance,
+// 1 = regression (or vanished metric), 2 = usage or I/O error.
+func realMain(args []string, w io.Writer) int {
+	fs := flag.NewFlagSet("perfbench", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var cfg config
+	fs.StringVar(&cfg.dir, "dir", ".", "trajectory directory holding BENCH_*.json reports")
+	fs.IntVar(&cfg.runs, "runs", 5, "measurements per metric (the gate compares medians)")
+	fs.BoolVar(&cfg.quick, "quick", false, "small graph and fewer kernel iterations (CI smoke)")
+	fs.Float64Var(&cfg.scale, "tolerance-scale", 1.0, "multiply every tolerance band (CI uses 2 for noisy shared runners)")
+	fs.StringVar(&cfg.baseline, "baseline", "", "compare against this report file instead of the newest same-host one")
+	fs.BoolVar(&cfg.anyHost, "any-host", false, "accept a baseline from a different host fingerprint")
+	fs.BoolVar(&cfg.noWrite, "no-write", false, "measure and compare only; never write a report")
+	fs.BoolVar(&cfg.forceWrite, "force-write", false, "write the report even on regression (intentional baseline reset)")
+	fs.DurationVar(&cfg.injectDelay, "inject-delay", 0, "arm a deterministic per-task fault delay (self-test: the gate must fail)")
+	fs.StringVar(&cfg.traceOut, "trace-out", "", "write the slowest ppscan run's Chrome trace to this file")
+	enginesFlag := fs.String("engines", "", "comma-separated engine subset (default: all registered)")
+	fs.StringVar(&cfg.eps, "eps", "0.5", "similarity threshold for the suite")
+	fs.IntVar(&cfg.mu, "mu", 4, "core threshold for the suite")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if cfg.runs < 1 {
+		cfg.runs = 1
+	}
+	if *enginesFlag != "" {
+		cfg.engines = strings.Split(*enginesFlag, ",")
+	} else {
+		cfg.engines = ppscan.EngineNames()
+	}
+
+	if cfg.injectDelay > 0 {
+		// A deterministic straggler on every scheduler task: the chaos
+		// handle the acceptance test uses to prove the gate actually trips.
+		fault.Enable(&fault.Plan{Rules: []fault.Rule{{
+			Point: fault.WorkerTask, Action: fault.ActDelay,
+			Start: 1, Every: 1, Delay: cfg.injectDelay,
+		}}})
+		defer fault.Disable()
+		fmt.Fprintf(w, "fault injection armed: +%v per scheduler task\n", cfg.injectDelay)
+	}
+
+	cur, slowTrace, err := runSuite(cfg, w)
+	if err != nil {
+		fmt.Fprintf(w, "perfbench: %v\n", err)
+		return 2
+	}
+	if cfg.traceOut != "" && slowTrace != nil {
+		if err := writeTrace(cfg.traceOut, slowTrace); err != nil {
+			fmt.Fprintf(w, "perfbench: writing trace: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(w, "slowest ppscan run trace: %s (%d events)\n", cfg.traceOut, len(slowTrace))
+	}
+
+	base, basePath, err := loadBaseline(cfg)
+	if err != nil {
+		fmt.Fprintf(w, "perfbench: loading baseline: %v\n", err)
+		return 2
+	}
+	if base == nil {
+		fmt.Fprintf(w, "no baseline for host %s — this run starts the trajectory\n",
+			perfgate.CurrentHost().Fingerprint())
+		return writeReport(cfg, cur, w, true)
+	}
+
+	deltas := perfgate.Compare(base, cur, cfg.scale)
+	printDeltas(w, deltas, basePath)
+	regs := perfgate.Regressions(deltas)
+	if len(regs) > 0 {
+		fmt.Fprintf(w, "\nPERF GATE FAILED: %d metric(s) regressed beyond tolerance (scale %.1f):\n",
+			len(regs), cfg.scale)
+		for _, d := range regs {
+			if d.Verdict == perfgate.Missing {
+				fmt.Fprintf(w, "  %-40s MISSING (baseline %.3g %s, not measured now)\n", d.Name, d.Base, d.Unit)
+				continue
+			}
+			fmt.Fprintf(w, "  %-40s %+.1f%% (limit ±%.1f%%): %.3g -> %.3g %s\n",
+				d.Name, d.ChangePct, d.LimitPct, d.Base, d.Cur, d.Unit)
+		}
+		if cfg.forceWrite {
+			writeReport(cfg, cur, w, false)
+		} else {
+			fmt.Fprintf(w, "report not written (use -force-write to reset the baseline intentionally)\n")
+		}
+		return 1
+	}
+	fmt.Fprintf(w, "perf gate OK: %d metrics within tolerance of %s\n", len(deltas), basePath)
+	return writeReport(cfg, cur, w, true)
+}
+
+func loadBaseline(cfg config) (*perfgate.Report, string, error) {
+	if cfg.baseline != "" {
+		r, err := perfgate.Load(cfg.baseline)
+		return r, cfg.baseline, err
+	}
+	return perfgate.LoadLatest(cfg.dir, perfgate.CurrentHost(), cfg.anyHost)
+}
+
+func writeReport(cfg config, cur *perfgate.Report, w io.Writer, ok bool) int {
+	if cfg.noWrite {
+		return 0
+	}
+	path, err := cur.Write(cfg.dir)
+	if err != nil {
+		fmt.Fprintf(w, "perfbench: writing report: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(w, "recorded %s (%d metrics)\n", path, len(cur.Metrics))
+	_ = ok
+	return 0
+}
+
+// runSuite measures everything and returns the report plus the trace of
+// the slowest warm ppscan run.
+func runSuite(cfg config, w io.Writer) (*perfgate.Report, []obsv.TraceEvent, error) {
+	n, deg := int32(10_000), int32(16)
+	kernelIters := 2000
+	if cfg.quick {
+		n, deg, kernelIters = 1500, 12, 400
+	}
+	g := gen.Roll(n, deg, 5)
+	cur := perfgate.New(time.Now(), map[string]string{
+		"graph":   fmt.Sprintf("roll(n=%d,deg=%d,seed=5)", n, deg),
+		"eps":     cfg.eps,
+		"mu":      fmt.Sprintf("%d", cfg.mu),
+		"runs":    fmt.Sprintf("%d", cfg.runs),
+		"quick":   fmt.Sprintf("%v", cfg.quick),
+		"engines": strings.Join(cfg.engines, ","),
+	})
+
+	slowTrace, err := benchEngines(cfg, g, cur, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	benchKernels(cfg, cur, kernelIters)
+	if err := benchServer(cfg, g, cur); err != nil {
+		return nil, nil, err
+	}
+	return cur, slowTrace, nil
+}
+
+// benchEngines measures per-engine cold and warm latency, the ppscan
+// warm-path allocation count, and the per-phase durations extracted from
+// the coordinator track of a traced ppscan run.
+func benchEngines(cfg config, g *graph.Graph, cur *perfgate.Report, w io.Writer) ([]obsv.TraceEvent, error) {
+	var slowTrace []obsv.TraceEvent
+	var slowDur time.Duration
+	tr := ppscan.NewTracer()
+	phaseSamples := map[string][]float64{}
+	for _, name := range cfg.engines {
+		opt := ppscan.Options{
+			Algorithm: ppscan.Algorithm(name), Epsilon: cfg.eps, Mu: cfg.mu,
+		}
+		ws := ppscan.NewWorkspace()
+		// Cold: first contact with an empty workspace — buffer growth and
+		// first-touch costs included.
+		t0 := time.Now()
+		if _, err := ppscan.RunWorkspace(context.Background(), g, opt, ws); err != nil {
+			ws.Close()
+			return nil, fmt.Errorf("engine %s (cold): %w", name, err)
+		}
+		cold := time.Since(t0)
+		traced := name == string(ppscan.AlgoPPSCAN)
+		warm := make([]float64, 0, cfg.runs)
+		for i := 0; i < cfg.runs; i++ {
+			if traced {
+				tr.Reset()
+				opt.Tracer = tr
+			}
+			t0 = time.Now()
+			if _, err := ppscan.RunWorkspace(context.Background(), g, opt, ws); err != nil {
+				ws.Close()
+				return nil, fmt.Errorf("engine %s (warm): %w", name, err)
+			}
+			d := time.Since(t0)
+			warm = append(warm, float64(d.Nanoseconds()))
+			if traced {
+				for phase, ns := range phaseDurations(tr) {
+					phaseSamples[phase] = append(phaseSamples[phase], ns)
+				}
+				if d > slowDur {
+					slowDur, slowTrace = d, tr.Events()
+				}
+			}
+		}
+		cur.Add("engine."+name+".warm_ns", perfgate.Median(warm), "ns", perfgate.Lower, 0.35, 0)
+		if traced {
+			// Only the flagship engine gates cold latency: cold runs are
+			// one-sample by definition and noisy for every engine alike.
+			cur.Add("engine."+name+".cold_ns", float64(cold.Nanoseconds()), "ns", perfgate.Lower, 0.6, 0)
+			opt.Tracer = nil
+			allocs := testing.AllocsPerRun(3, func() {
+				if _, err := ppscan.RunWorkspace(context.Background(), g, opt, ws); err != nil {
+					panic(err)
+				}
+			})
+			// Near-zero counts get an absolute band: +3 objects is noise,
+			// a relative band around 2 would reject +2.
+			cur.Add("engine."+name+".warm_allocs", allocs, "objects", perfgate.Lower, 0, 3)
+		}
+		ws.Close()
+		fmt.Fprintf(w, "  engine %-10s cold %8.2fms  warm(p50) %8.2fms\n",
+			name, float64(cold)/1e6, perfgate.Median(warm)/1e6)
+	}
+	for phase, samples := range phaseSamples {
+		// Individual phases jitter more than whole runs; give them a wide
+		// band — the per-engine warm gate catches sustained drift.
+		cur.Add("phase."+phase+".ns", perfgate.Median(samples), "ns", perfgate.Lower, 0.6, float64(200*time.Microsecond))
+	}
+	return slowTrace, nil
+}
+
+// phaseDurations extracts the P1–P7 span durations (ns) from the
+// coordinator track (tid 0) of a traced run.
+func phaseDurations(tr *ppscan.Tracer) map[string]float64 {
+	out := map[string]float64{}
+	for _, ev := range tr.Events() {
+		if ev.Ph == "X" && ev.TID == 0 && strings.HasPrefix(ev.Name, "P") {
+			out[ev.Name] += ev.Dur * 1e3 // trace durations are microseconds
+		}
+	}
+	return out
+}
+
+// benchKernels measures every intersection kernel's throughput on a
+// synthetic pair of sorted adjacency lists with ~50% overlap — the
+// CompSim shape the pruning phase spends its time in.
+func benchKernels(cfg config, cur *perfgate.Report, iters int) {
+	const size = 4096
+	a := make([]int32, size)
+	b := make([]int32, size)
+	for i := range a {
+		a[i] = int32(2 * i) // evens
+		b[i] = int32(4 * i) // every other even: 50% of b hits a
+	}
+	elems := float64(len(a) + len(b))
+	minCN := int32(size / 4)
+	for _, kind := range intersect.Kinds() {
+		samples := make([]float64, 0, cfg.runs)
+		for r := 0; r < cfg.runs; r++ {
+			t0 := time.Now()
+			for i := 0; i < iters; i++ {
+				intersect.CompSim(kind, a, b, minCN)
+			}
+			secs := time.Since(t0).Seconds()
+			samples = append(samples, elems*float64(iters)/secs/1e6)
+		}
+		cur.Add("kernel."+kind.String()+".melems_per_s", perfgate.Median(samples),
+			"Melem/s", perfgate.Higher, 0.35, 0)
+	}
+}
+
+// benchServer measures the end-to-end request latency of the HTTP serving
+// stack — admission, pooled workspace, compute, JSON encoding — with the
+// response cache rendered ineffective so every request computes.
+func benchServer(cfg config, g *graph.Graph, cur *perfgate.Report) error {
+	s := server.New(g, 0).WithCacheSize(1)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	urls := [2]string{
+		fmt.Sprintf("%s/cluster?eps=%s&mu=%d", ts.URL, cfg.eps, cfg.mu),
+		fmt.Sprintf("%s/cluster?eps=0.6&mu=%d", ts.URL, cfg.mu),
+	}
+	get := func(u string) error {
+		res, err := client.Get(u)
+		if err != nil {
+			return err
+		}
+		defer res.Body.Close()
+		if _, err := io.Copy(io.Discard, res.Body); err != nil {
+			return err
+		}
+		if res.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d", u, res.StatusCode)
+		}
+		return nil
+	}
+	// Warm the workspace pool and both cache keys' code paths.
+	for _, u := range urls {
+		if err := get(u); err != nil {
+			return err
+		}
+	}
+	samples := make([]float64, 0, 2*cfg.runs)
+	for r := 0; r < cfg.runs; r++ {
+		for _, u := range urls { // alternating keys defeat the size-1 cache
+			t0 := time.Now()
+			if err := get(u); err != nil {
+				return err
+			}
+			samples = append(samples, float64(time.Since(t0).Nanoseconds()))
+		}
+	}
+	cur.Add("server.request_ns", perfgate.Median(samples), "ns", perfgate.Lower, 0.4, 0)
+	return nil
+}
+
+func writeTrace(path string, events []obsv.TraceEvent) error {
+	b, err := json.Marshal(obsv.NewTraceFile(events))
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+func printDeltas(w io.Writer, deltas []perfgate.Delta, basePath string) {
+	fmt.Fprintf(w, "\ncomparing against %s:\n", basePath)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "METRIC\tBASE\tCURRENT\tCHANGE\tVERDICT\n")
+	sorted := append([]perfgate.Delta(nil), deltas...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, d := range sorted {
+		change := "-"
+		if d.Verdict != perfgate.NewMetric && d.Verdict != perfgate.Missing {
+			change = fmt.Sprintf("%+.1f%%", d.ChangePct)
+		}
+		fmt.Fprintf(tw, "%s\t%.3g\t%.3g\t%s\t%s\n", d.Name, d.Base, d.Cur, change, d.Verdict)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ppscan/internal/fault"
+	"ppscan/internal/perfgate"
+)
+
+// TestGateTripsOnInjectedDelay is the acceptance check for the whole
+// gate: record a baseline, then re-run with a synthetic per-task delay —
+// the run must exit 1, name the regressed metrics, and must NOT write the
+// regressed report into the trajectory.
+func TestGateTripsOnInjectedDelay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite twice")
+	}
+	defer fault.Disable()
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if code := realMain([]string{"-quick", "-runs", "2", "-dir", dir, "-engines", "ppscan"}, &out); code != 0 {
+		t.Fatalf("baseline run: exit %d\n%s", code, out.String())
+	}
+	if n := countReports(t, dir); n != 1 {
+		t.Fatalf("baseline run left %d reports, want 1", n)
+	}
+
+	out.Reset()
+	code := realMain([]string{
+		"-quick", "-runs", "2", "-dir", dir, "-engines", "ppscan",
+		"-inject-delay", "500us",
+	}, &out)
+	if code != 1 {
+		t.Fatalf("injected-delay run: exit %d, want 1\n%s", code, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "PERF GATE FAILED") {
+		t.Errorf("failure output lacks the gate banner:\n%s", s)
+	}
+	if !strings.Contains(s, "engine.ppscan.warm_ns") {
+		t.Errorf("failure output does not name the regressed warm-latency metric:\n%s", s)
+	}
+	if n := countReports(t, dir); n != 1 {
+		t.Errorf("regressed run wrote a report: %d files, want 1 (the baseline)", n)
+	}
+}
+
+// TestTraceOutAndForceWrite: -trace-out produces a loadable trace file
+// and -force-write records a report even when the gate fails.
+func TestTraceOutAndForceWrite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite twice")
+	}
+	defer fault.Disable()
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	var out bytes.Buffer
+	args := []string{"-quick", "-runs", "1", "-dir", dir, "-engines", "ppscan", "-trace-out", tracePath}
+	if code := realMain(args, &out); code != 0 {
+		t.Fatalf("baseline run: exit %d\n%s", code, out.String())
+	}
+	b, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	if !strings.Contains(string(b), `"traceEvents"`) {
+		t.Errorf("trace file is not a Chrome trace: %s", b[:min(len(b), 120)])
+	}
+
+	out.Reset()
+	code := realMain([]string{
+		"-quick", "-runs", "1", "-dir", dir, "-engines", "ppscan",
+		"-inject-delay", "500us", "-force-write",
+	}, &out)
+	if code != 1 {
+		t.Fatalf("injected run: exit %d, want 1\n%s", code, out.String())
+	}
+	// The regressed report must still have been recorded (-force-write);
+	// asserting on the output sidesteps same-second stamp collisions.
+	if !strings.Contains(out.String(), "recorded ") {
+		t.Errorf("-force-write did not record the regressed report:\n%s", out.String())
+	}
+}
+
+func countReports(t *testing.T, dir string) int {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, perfgate.FilePrefix+"*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(matches)
+}

@@ -21,13 +21,10 @@ import (
 
 	"ppscan"
 	"ppscan/graph"
-	"ppscan/internal/core"
 	"ppscan/internal/dataset"
 	"ppscan/internal/fault"
-	"ppscan/internal/intersect"
 	"ppscan/internal/obsv"
 	"ppscan/internal/result"
-	"ppscan/internal/simdef"
 )
 
 func main() {
@@ -67,7 +64,7 @@ func main() {
 	}
 	var res *ppscan.Result
 	if *tracePath != "" {
-		res, err = runTraced(g, *algo, *eps, *mu, *workers, *kernel, *tracePath)
+		res, err = runTraced(g, *algo, *eps, *mu, *workers, *kernel, *tracePath, *watchdog)
 	} else {
 		res, err = ppscan.Run(g, ppscan.Options{
 			Algorithm:    ppscan.Algorithm(*algo),
@@ -126,33 +123,26 @@ func main() {
 	}
 }
 
-// runTraced runs ppSCAN through the internal engine with a span tracer
-// attached and writes the Chrome trace_event JSON to path. Only the two
-// ppSCAN variants are traceable — the other algorithms don't emit spans.
-func runTraced(g *graph.Graph, algo, eps string, mu, workers int, kernel, path string) (*ppscan.Result, error) {
+// runTraced runs the selected algorithm with a span tracer threaded
+// through the facade (ppscan.Options.Tracer) and writes the Chrome
+// trace_event JSON to path. Only the two ppSCAN variants emit spans —
+// the same dispatch path and defaults as an untraced run, trace attached.
+func runTraced(g *graph.Graph, algo, eps string, mu, workers int, kernel, path string, watchdog time.Duration) (*ppscan.Result, error) {
 	if algo != "ppscan" && algo != "ppscan-no" {
 		return nil, fmt.Errorf("-trace requires -algo ppscan or ppscan-no (got %q)", algo)
 	}
-	if mu < 1 {
-		return nil, fmt.Errorf("mu = %d, want >= 1", mu)
-	}
-	th, err := simdef.NewThreshold(eps, int32(mu))
+	tr := ppscan.NewTracer()
+	res, err := ppscan.Run(g, ppscan.Options{
+		Algorithm:    ppscan.Algorithm(algo),
+		Epsilon:      eps,
+		Mu:           mu,
+		Workers:      workers,
+		Kernel:       kernel,
+		StallTimeout: watchdog,
+		Tracer:       tr,
+	})
 	if err != nil {
 		return nil, err
-	}
-	kind := intersect.PivotBlock16
-	if algo == "ppscan-no" {
-		kind = intersect.MergeEarly
-	}
-	if kernel != "" {
-		if kind, err = intersect.ParseKind(kernel); err != nil {
-			return nil, err
-		}
-	}
-	tr := obsv.NewTracer()
-	res := core.Run(g, th, core.Options{Kernel: kind, Workers: workers, Tracer: tr})
-	if algo == "ppscan-no" {
-		res.Stats.Algorithm = "ppSCAN-NO"
 	}
 	f, err := os.Create(path)
 	if err != nil {

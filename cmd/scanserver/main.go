@@ -7,8 +7,12 @@
 //	scanserver -graph web.bin -index -addr :8080
 //
 // Endpoints: /healthz, /cluster?eps=&mu=[&algo=&members=true],
-// /vertex?v=&eps=&mu=, /quality?eps=&mu=, /metrics. With -pprof, the Go
-// profiling endpoints are additionally served under /debug/pprof/.
+// /vertex?v=&eps=&mu=, /quality?eps=&mu=, /metrics, and /debug/slowest —
+// the tail-latency exemplars: the -exemplars slowest computations of the
+// last 15 minutes, each with its per-phase breakdown and a Chrome trace
+// of the actual run (load in chrome://tracing or ui.perfetto.dev). With
+// -pprof, the Go profiling endpoints are additionally served under
+// /debug/pprof/.
 //
 // -algo selects the default algorithm backend for requests that omit the
 // algo query parameter; -list-algos prints the registered backends. Direct
@@ -66,6 +70,7 @@ func main() {
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-request computation deadline (0 = none); exceeded requests get 503")
 		grace       = flag.Duration("shutdown-grace", 15*time.Second, "max time to wait for in-flight requests on SIGTERM/SIGINT")
 		watchdog    = flag.Duration("watchdog", 0, "phase stall watchdog for direct computations: abort a request whose run makes no scheduler progress for this long and answer 500 (0 = off)")
+		exemplars   = flag.Int("exemplars", 8, "retain the N slowest computations of the last 15 minutes with full execution traces at /debug/slowest (0 = parameters and phase breakdown only for the default 4, traces off)")
 		chaosSeed   = flag.Int64("chaos-seed", 0, "arm deterministic fault injection with this seed (0 = off) — a chaos drill: injected worker panics, delays and transient faults exercise the containment paths while /metrics reports fault.* counters")
 	)
 	flag.Parse()
@@ -107,6 +112,13 @@ func main() {
 		WithAdmission(*maxInflight, *reqTimeout).
 		WithWatchdog(*watchdog).
 		WithAlgorithm(ppscan.Algorithm(*algoName))
+	if *exemplars > 0 {
+		// Arm trace capture: every retained slow request carries its Chrome
+		// trace. WithExemplars after WithAdmission so the tracer pool sizes
+		// itself to the in-flight bound.
+		srv = srv.WithExemplars(*exemplars, server.DefaultExemplarWindow, true)
+		log.Printf("tail-latency exemplars: %d slowest requests with traces at /debug/slowest", *exemplars)
+	}
 	if *logReqs {
 		srv = srv.WithLogging(log.Default())
 	}

@@ -37,7 +37,6 @@ package core
 import (
 	"context"
 	"errors"
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -158,13 +157,12 @@ func RunWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshold, opt 
 		defer release()
 	}
 	if s.tr != nil {
+		// Idempotent on a pooled tracer: after its first run these build no
+		// strings and record no events (names live in tracer fields until
+		// export), keeping traced serving inside the allocation budget.
 		s.tr.SetProcessName("ppscan")
 		s.tr.SetThreadName(0, "coordinator")
-		//lint:ctxok bounded by Workers and runs once per run, only when tracing
-		for w := 0; w < opt.Workers; w++ {
-			//lint:allowalloc tracer thread names; built once per traced run, tracing is off in serving
-			s.tr.SetThreadName(w+1, fmt.Sprintf("worker-%d", w))
-		}
+		s.tr.NameWorkers(opt.Workers)
 	}
 	n := g.NumVertices()
 
@@ -374,6 +372,7 @@ type runPublisher struct {
 	reg          *obsv.Registry
 	runs         *obsv.Counter
 	phaseNs      [result.NumPhases]*obsv.Counter
+	phaseDur     [result.NumPhases]*obsv.Histogram
 	compSimPhase [result.NumPhases]*obsv.Counter
 	compSim      *obsv.Counter
 	kernCalls    *obsv.Counter
@@ -407,6 +406,7 @@ func newRunPublisher(reg *obsv.Registry) *runPublisher {
 	}
 	for ph := result.PhaseID(0); ph < result.NumPhases; ph++ {
 		p.phaseNs[ph] = reg.Counter(obsv.MetricPhaseNsPrefix + result.PhaseNames[ph])
+		p.phaseDur[ph] = reg.Histogram(obsv.MetricPhaseDurPrefix + result.PhaseNames[ph])
 		p.compSimPhase[ph] = reg.Counter(obsv.MetricCompSimPrefix + result.PhaseNames[ph])
 	}
 	return p
@@ -420,6 +420,7 @@ func (p *runPublisher) publish(phaseTimes [result.NumPhases]time.Duration,
 	p.runs.Inc()
 	for ph := result.PhaseID(0); ph < result.NumPhases; ph++ {
 		p.phaseNs[ph].Add(phaseTimes[ph].Nanoseconds())
+		p.phaseDur[ph].Observe(phaseTimes[ph].Nanoseconds())
 		p.compSimPhase[ph].Add(byPhase[ph])
 	}
 	p.compSim.Add(calls)
@@ -448,11 +449,12 @@ type workerState struct {
 // schedInstruments caches the registry lookups for scheduler telemetry so
 // forEach builds a sched.Metrics without re-locking the registry per phase.
 type schedInstruments struct {
-	tasks  *obsv.Counter
-	degSum *obsv.Histogram
-	verts  *obsv.Histogram
-	wait   *obsv.Histogram
-	busy   *obsv.ShardedCounter
+	tasks   *obsv.Counter
+	degSum  *obsv.Histogram
+	verts   *obsv.Histogram
+	wait    *obsv.Histogram
+	taskDur *obsv.Histogram
+	busy    *obsv.ShardedCounter
 }
 
 // state is the pooled per-workspace run state. One instance lives in each
@@ -576,11 +578,12 @@ func (s *state) reset(ctx context.Context, g *graph.Graph, th simdef.Threshold, 
 		if s.sm == nil || s.smReg != s.reg {
 			//lint:allowalloc instrument cache rebuilt only when the registry changes
 			s.sm = &schedInstruments{
-				tasks:  s.reg.Counter(obsv.MetricSchedTasks),
-				degSum: s.reg.Histogram(obsv.MetricSchedTaskDegreeSum),
-				verts:  s.reg.Histogram(obsv.MetricSchedTaskVertices),
-				wait:   s.reg.Histogram(obsv.MetricSchedQueueWaitNs),
-				busy:   s.reg.Sharded(obsv.MetricSchedWorkerBusyNs, opt.Workers),
+				tasks:   s.reg.Counter(obsv.MetricSchedTasks),
+				degSum:  s.reg.Histogram(obsv.MetricSchedTaskDegreeSum),
+				verts:   s.reg.Histogram(obsv.MetricSchedTaskVertices),
+				wait:    s.reg.Histogram(obsv.MetricSchedQueueWaitNs),
+				taskDur: s.reg.Histogram(obsv.MetricSchedTaskSpanNs),
+				busy:    s.reg.Sharded(obsv.MetricSchedWorkerBusyNs, opt.Workers),
 			}
 			s.smReg = s.reg
 		}
@@ -649,6 +652,7 @@ func (s *state) forEach(name string, need func(int32) bool, process func(u int32
 			TaskDegreeSum:  s.sm.degSum,
 			TaskVertices:   s.sm.verts,
 			QueueWaitNs:    s.sm.wait,
+			TaskDurNs:      s.sm.taskDur,
 			WorkerBusyNs:   s.sm.busy,
 			Tracer:         s.tr,
 			SpanName:       name,

@@ -48,10 +48,26 @@ import (
 	"ppscan/internal/engine"
 	"ppscan/internal/fault"
 	"ppscan/internal/intersect"
+	"ppscan/internal/obsv"
 	"ppscan/internal/result"
 	"ppscan/internal/simdef"
 	"ppscan/internal/unionfind"
 )
+
+// superstepKey converts a superstep label ("S2 similarity-computation")
+// into its metric-name suffix ("s2_similarity_computation").
+func superstepKey(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		switch {
+		case c >= 'A' && c <= 'Z':
+			b[i] = c + 'a' - 'A'
+		case c == ' ' || c == '-':
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
 
 // Options configures a distributed run.
 type Options struct {
@@ -72,6 +88,10 @@ type Options struct {
 	// is fatally poisoned (hung partition goroutines may still reference
 	// its buffers). Zero — the default — disables the watchdog.
 	StallTimeout time.Duration
+	// Registry receives per-superstep wall-time histograms
+	// (distscan.superstep_ns.<key>, retries included). nil means
+	// obsv.Default(); pass obsv.NewNop() to disable.
+	Registry *obsv.Registry
 }
 
 // maxRetryBackoff caps the exponential superstep retry backoff.
@@ -114,6 +134,9 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 	}
 	if opt.RetryBackoff < 1 {
 		opt.RetryBackoff = time.Millisecond
+	}
+	if opt.Registry == nil {
+		opt.Registry = obsv.Default()
 	}
 	start := time.Now()
 	n := g.NumVertices()
@@ -189,6 +212,13 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 	// transient failures (the BSP re-dispatch).
 	superstep := func(name string, fn func(w int)) error {
 		backoff := opt.RetryBackoff
+		t0 := time.Now()
+		// The histogram counts the whole round including retries and
+		// backoff sleeps — that is the wall time the BSP barrier costs.
+		defer func() {
+			opt.Registry.Histogram(obsv.MetricDistSuperstepPrefix + superstepKey(name)).
+				Observe(time.Since(t0).Nanoseconds())
+		}()
 		//lint:ctxok bounded by MaxAttempts; the barrier inside each attempt honors ctx via the stop flag
 		for attempt := 1; ; attempt++ {
 			err := runAttempt(name, p, opt.StallTimeout, &progress, fn)

@@ -31,6 +31,7 @@ func (distscanEngine) RunContext(ctx context.Context, g *graph.Graph, th simdef.
 		Kernel:       kern,
 		Partitions:   opt.Workers,
 		StallTimeout: opt.StallTimeout,
+		Registry:     opt.Registry,
 	}, ws)
 }
 

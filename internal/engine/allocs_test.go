@@ -7,6 +7,7 @@ import (
 	"ppscan/graph"
 	"ppscan/internal/engine"
 	"ppscan/internal/gen"
+	"ppscan/internal/obsv"
 	"ppscan/internal/simdef"
 )
 
@@ -58,6 +59,45 @@ func TestServingAllocBudget(t *testing.T) {
 		t.Errorf("warm run allocates %.1f objects, budget %d", allocs, servingBudget)
 	}
 	t.Logf("warm run: %.1f allocs (budget %d)", allocs, servingBudget)
+}
+
+// TestServingAllocBudgetTraced is the same gate with always-on exemplar
+// tracing: a pooled tracer (Reset between runs, as the server's tracer
+// pool does) recording every phase and scheduler-task span must not push
+// the warm run past the same servingBudget — the tail-latency exemplar
+// machinery is free on the steady-state path.
+func TestServingAllocBudgetTraced(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	eng, ok := engine.Get("ppscan")
+	if !ok {
+		t.Fatal("ppscan engine not registered")
+	}
+	g := benchGraph()
+	th := benchThreshold(t)
+	tr := obsv.NewTracer()
+	opt := engine.Options{Workers: 4, Tracer: tr}
+	ws := engine.NewWorkspace()
+	defer ws.Close()
+	ctx := context.Background()
+
+	run := func() {
+		tr.Reset()
+		if _, err := eng.RunContext(ctx, g, th, opt, ws); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm: grow the buffers AND the tracer's event slice
+	run()
+	allocs := testing.AllocsPerRun(10, run)
+	if allocs > servingBudget {
+		t.Errorf("traced warm run allocates %.1f objects, budget %d", allocs, servingBudget)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("tracer recorded no spans — the gate measured an untraced run")
+	}
+	t.Logf("traced warm run: %.1f allocs (budget %d), %d spans", allocs, servingBudget, tr.Len())
 }
 
 // BenchmarkEngineSteadyState measures the warm serving path: repeated runs

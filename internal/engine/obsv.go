@@ -1,0 +1,39 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"ppscan/internal/obsv"
+)
+
+// runObs caches one end-to-end run-latency histogram per engine name in
+// the process-global registry, so recording a run on the serving path is
+// a read-locked map hit plus an atomic Observe — no string concatenation
+// and no registry mutex after the first run of each engine.
+var runObs struct {
+	mu sync.RWMutex
+	m  map[string]*obsv.Histogram
+}
+
+// ObserveRun records one end-to-end run of the named engine into the
+// default registry's engine.run_ns.<name> histogram. The facade dispatch
+// calls it for every RunWorkspace, errors included — tail latency counts
+// the failures too.
+func ObserveRun(name string, d time.Duration) {
+	runObs.mu.RLock()
+	h := runObs.m[name]
+	runObs.mu.RUnlock()
+	if h == nil {
+		runObs.mu.Lock()
+		if runObs.m == nil {
+			runObs.m = make(map[string]*obsv.Histogram)
+		}
+		if h = runObs.m[name]; h == nil {
+			h = obsv.Default().Histogram(obsv.MetricEngineRunPrefix + name)
+			runObs.m[name] = h
+		}
+		runObs.mu.Unlock()
+	}
+	h.Observe(d.Nanoseconds())
+}

@@ -149,4 +149,37 @@ const (
 	MetricFaultDelays  = "fault.injected.delays"
 	MetricFaultErrors  = "fault.injected.errors"
 	MetricFaultRetries = "fault.retries"
+
+	// Tail-latency attribution histograms.
+	//
+	// MetricPhaseDurPrefix + stage name is a histogram of single-run
+	// per-stage wall times in nanoseconds — the distribution behind the
+	// MetricPhaseNsPrefix accumulators, so quantiles answer "which stage
+	// makes the slow runs slow" (stages are result.PhaseNames).
+	MetricPhaseDurPrefix = "core.phase_dur_ns."
+	// MetricSchedTaskSpanNs is a histogram of individual scheduler-task
+	// wall times (queue wait excluded) across both pool flavors; its tail
+	// quantifies Algorithm 5's load-balance quality.
+	MetricSchedTaskSpanNs = "sched.task_span_ns"
+	// MetricEngineRunPrefix + engine name is a histogram of end-to-end
+	// RunWorkspace wall times per engine, recorded at the facade dispatch.
+	MetricEngineRunPrefix = "engine.run_ns."
+
+	// Server-side tail-latency attribution (server-local registry).
+	//
+	// MetricServerComputeNs is a histogram of direct-compute durations
+	// (cache misses that ran the algorithm); MetricServerPhasePrefix +
+	// stage name distributes each computation's per-stage time.
+	MetricServerComputeNs   = "server.compute_ns"
+	MetricServerPhasePrefix = "server.phase_ns."
+	// MetricServerExemplars gauges the exemplars currently retained in the
+	// slowest-request ring; MetricServerExemplarCaptures counts requests
+	// that qualified for retention since startup.
+	MetricServerExemplars        = "server.exemplars.retained"
+	MetricServerExemplarCaptures = "server.exemplars.captured"
+
+	// Distributed-engine superstep histograms: MetricDistSuperstepPrefix +
+	// a superstep key ("s1_adjacency_exchange", ...) distributes wall time
+	// per BSP superstep, retries included.
+	MetricDistSuperstepPrefix = "distscan.superstep_ns."
 )

@@ -1,0 +1,145 @@
+package obsv
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestQuantileSingleSample: with one sample the histogram knows the exact
+// max, so every quantile must report the sample itself (the bucket upper
+// edge clamps to the observed max).
+func TestQuantileSingleSample(t *testing.T) {
+	for _, v := range []int64{1, 2, 3, 5, 1023, 1024, 1 << 40} {
+		var h Histogram
+		h.Observe(v)
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != v {
+				t.Errorf("Observe(%d).Quantile(%g) = %d, want %d", v, q, got, v)
+			}
+		}
+	}
+}
+
+// TestQuantileExactPowersOfTwo pins the bucket-edge behavior: 2^k is the
+// first value of bucket k+1, whose upper edge 2^(k+1)-1 clamps back to
+// the observed max when 2^k is the largest sample.
+func TestQuantileExactPowersOfTwo(t *testing.T) {
+	for k := uint(0); k < 62; k++ {
+		v := int64(1) << k
+		var h Histogram
+		h.Observe(v)
+		if got := h.Quantile(1); got != v {
+			t.Fatalf("Quantile(1) after Observe(1<<%d) = %d, want %d", k, got, v)
+		}
+		// A second, smaller sample in a lower bucket: the median must not
+		// exceed that bucket's upper edge.
+		if k >= 2 {
+			lo := int64(1) << (k - 2)
+			h.Observe(lo)
+			p0 := h.Quantile(0)
+			if upper := int64(1)<<(k-1) - 1; p0 > upper {
+				t.Fatalf("Quantile(0) = %d exceeds lower bucket edge %d", p0, upper)
+			}
+		}
+	}
+}
+
+func TestQuantileExtremesAndClamping(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	if got := h.Quantile(0.5); got != 1 {
+		t.Errorf("p50 = %d, want 1", got)
+	}
+	if got := h.Quantile(0.99); got != 1000 {
+		t.Errorf("p99 = %d, want 1000 (bucket edge clamped to max)", got)
+	}
+	// Out-of-range q clamps to [0, 1] rather than misbehaving.
+	if got, want := h.Quantile(-3), h.Quantile(0); got != want {
+		t.Errorf("Quantile(-3) = %d, want Quantile(0) = %d", got, want)
+	}
+	if got, want := h.Quantile(7), h.Quantile(1); got != want {
+		t.Errorf("Quantile(7) = %d, want Quantile(1) = %d", got, want)
+	}
+}
+
+// TestQuantileNegativeClamp: negative samples land in bucket 0 and report
+// as 0 — durations cannot be negative, so clock skew must not poison the
+// distribution.
+func TestQuantileNegativeClamp(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	h.Observe(-1)
+	h.Observe(0)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%g) = %d, want 0", q, got)
+		}
+	}
+	if h.Count() != 3 {
+		t.Errorf("Count = %d, want 3", h.Count())
+	}
+}
+
+func TestQuantileEmptyAndNil(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %d, want 0", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil Quantile = %d, want 0", got)
+	}
+	if s := nilH.Snapshot(); s.Count != 0 || s.P99 != 0 {
+		t.Errorf("nil Snapshot = %+v", s)
+	}
+}
+
+// TestHistogramConcurrentObserveSnapshot exercises Observe racing
+// Snapshot/Quantile — run under -race this proves the lock-free histogram
+// is data-race-free, and the final counts must still be exact.
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	var h Histogram
+	const goroutines, perG = 8, 5000
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			if s.Count < 0 || s.P50 < 0 || s.Max < 0 {
+				t.Error("negative snapshot fields")
+				return
+			}
+			_ = h.Quantile(0.9)
+		}
+	}()
+	for w := 0; w < goroutines; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(int64(w*perG + i))
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("Count = %d, want %d", got, goroutines*perG)
+	}
+	if got := h.Max(); got != goroutines*perG-1 {
+		t.Fatalf("Max = %d, want %d", got, goroutines*perG-1)
+	}
+}

@@ -129,6 +129,79 @@ func TestNilTracer(t *testing.T) {
 	}
 }
 
+func TestTracerEndTaskExportsArgs(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.BeginCat("task", "sched", 3)
+	sp.EndTask(16, 128, 4096)
+	events := tr.Events()
+	var task *TraceEvent
+	for i := range events {
+		if events[i].Name == "task" {
+			task = &events[i]
+		}
+	}
+	if task == nil {
+		t.Fatal("task span missing")
+	}
+	if task.Args["beg"].(int32) != 16 || task.Args["end"].(int32) != 128 || task.Args["deg"].(int64) != 4096 {
+		t.Errorf("task args = %v", task.Args)
+	}
+	if task.Cat != "sched" || task.TID != 3 {
+		t.Errorf("task cat/tid = %q/%d", task.Cat, task.TID)
+	}
+}
+
+func TestTracerResetKeepsNamesAndCapacity(t *testing.T) {
+	tr := NewTracer()
+	tr.SetProcessName("ppscan")
+	tr.SetThreadName(0, "coordinator")
+	tr.NameWorkers(4)
+	tr.Begin("warm", 0).End()
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", tr.Len())
+	}
+
+	// Names survive Reset and renaming to the same value is idempotent.
+	tr.NameWorkers(4)
+	tr.SetProcessName("ppscan")
+	tr.SetThreadName(0, "coordinator")
+	var names []string
+	for _, e := range tr.Events() {
+		if e.Ph == "M" {
+			names = append(names, e.Args["name"].(string))
+		}
+	}
+	want := []string{"ppscan", "coordinator", "worker-0", "worker-1", "worker-2", "worker-3"}
+	if len(names) != len(want) {
+		t.Fatalf("metadata names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("metadata names = %v, want %v", names, want)
+		}
+	}
+
+	// The steady-state cycle of a pooled tracer — Reset, re-assert names,
+	// record as many spans as the previous run — must be allocation-free.
+	tr.Reset()
+	for i := 0; i < 64; i++ {
+		tr.Begin("span", 1).EndTask(0, 10, 100)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		tr.Reset()
+		tr.SetProcessName("ppscan")
+		tr.SetThreadName(0, "coordinator")
+		tr.NameWorkers(4)
+		for i := 0; i < 64; i++ {
+			tr.Begin("span", 1).EndTask(0, 10, 100)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("pooled tracer cycle allocates %.1f per run, want 0", allocs)
+	}
+}
+
 func TestEmptyTracerWritesValidJSON(t *testing.T) {
 	var buf bytes.Buffer
 	if err := NewTracer().WriteJSON(&buf); err != nil {

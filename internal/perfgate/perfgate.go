@@ -1,0 +1,294 @@
+// Package perfgate persists performance measurements as a trajectory of
+// schema-versioned BENCH_<stamp>.json files and compares a fresh run
+// against the most recent baseline with noise-aware, per-metric
+// tolerances. cmd/perfbench is the producer; `make perf` and CI are the
+// consumers. The gate's contract: a regression beyond a metric's
+// tolerance is loud (non-zero exit, per-metric report), and a regressed
+// run never silently becomes the next baseline.
+package perfgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SchemaVersion identifies the report layout. Readers reject files with a
+// different major schema so a stale trajectory cannot produce nonsense
+// verdicts after a format change.
+const SchemaVersion = 1
+
+// StampLayout is the timestamp layout embedded in report filenames;
+// lexicographic order equals chronological order.
+const StampLayout = "20060102T150405Z"
+
+// FilePrefix is the report filename prefix: BENCH_<stamp>.json.
+const FilePrefix = "BENCH_"
+
+// Direction states which way a metric is better.
+type Direction string
+
+const (
+	// Lower marks latency-like metrics: smaller is better.
+	Lower Direction = "lower"
+	// Higher marks throughput-like metrics: bigger is better.
+	Higher Direction = "higher"
+)
+
+// Host fingerprints the machine a report was measured on. Baselines are
+// only comparable within one fingerprint: comparing a laptop run against
+// a CI-runner baseline yields noise, not verdicts.
+type Host struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	GoVersion string `json:"goVersion"`
+}
+
+// CurrentHost captures the running machine's fingerprint.
+func CurrentHost() Host {
+	return Host{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+}
+
+// Fingerprint renders the comparability key.
+func (h Host) Fingerprint() string {
+	return fmt.Sprintf("%s/%s/cpu%d/%s", h.GOOS, h.GOARCH, h.CPUs, h.GoVersion)
+}
+
+// Metric is one measured value plus the tolerance that separates noise
+// from regression. Tol is relative (0.25 = 25%); AbsTol is an absolute
+// slack added on top, for metrics whose noise floor is additive (e.g.
+// allocation counts near zero, where any relative band collapses).
+type Metric struct {
+	Value  float64   `json:"value"`
+	Unit   string    `json:"unit"`
+	Dir    Direction `json:"dir"`
+	Tol    float64   `json:"tol"`
+	AbsTol float64   `json:"absTol,omitempty"`
+}
+
+// Report is one benchmark run: a point on the performance trajectory.
+type Report struct {
+	Schema  int               `json:"schema"`
+	Stamp   string            `json:"stamp"`
+	Host    Host              `json:"host"`
+	Config  map[string]string `json:"config,omitempty"`
+	Metrics map[string]Metric `json:"metrics"`
+}
+
+// New builds an empty report stamped at t (UTC) on the current host.
+func New(t time.Time, config map[string]string) *Report {
+	return &Report{
+		Schema:  SchemaVersion,
+		Stamp:   t.UTC().Format(StampLayout),
+		Host:    CurrentHost(),
+		Config:  config,
+		Metrics: map[string]Metric{},
+	}
+}
+
+// Add records one metric.
+func (r *Report) Add(name string, value float64, unit string, dir Direction, tol, absTol float64) {
+	r.Metrics[name] = Metric{Value: value, Unit: unit, Dir: dir, Tol: tol, AbsTol: absTol}
+}
+
+// Filename is the report's canonical filename.
+func (r *Report) Filename() string { return FilePrefix + r.Stamp + ".json" }
+
+// Write persists the report into dir as BENCH_<stamp>.json and returns
+// the full path.
+func (r *Report) Write(dir string) (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, r.Filename())
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Load reads and validates one report file.
+func Load(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%s: schema %d, this binary reads schema %d", path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// LoadLatest returns the newest report in dir whose host fingerprint
+// matches h (or any host when anyHost is set), together with its path.
+// No matching report is not an error: (nil, "", nil) means the trajectory
+// starts here. Unreadable or schema-mismatched files are skipped — one
+// corrupt point must not wedge the gate.
+func LoadLatest(dir string, h Host, anyHost bool) (*Report, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, "", nil
+		}
+		return nil, "", err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasPrefix(n, FilePrefix) && strings.HasSuffix(n, ".json") {
+			names = append(names, n)
+		}
+	}
+	// Stamp layout sorts lexicographically = chronologically; walk
+	// newest-first until one loads and matches.
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, n := range names {
+		path := filepath.Join(dir, n)
+		r, err := Load(path)
+		if err != nil {
+			continue
+		}
+		if !anyHost && r.Host.Fingerprint() != h.Fingerprint() {
+			continue
+		}
+		return r, path, nil
+	}
+	return nil, "", nil
+}
+
+// Verdict classifies one metric's movement between two reports.
+type Verdict string
+
+const (
+	// OK: within tolerance of the baseline.
+	OK Verdict = "ok"
+	// Regressed: worse than the baseline beyond tolerance.
+	Regressed Verdict = "REGRESSED"
+	// Improved: better than the baseline beyond tolerance — a candidate
+	// for celebrating, and for the baseline advancing.
+	Improved Verdict = "improved"
+	// NewMetric: present now, absent from the baseline.
+	NewMetric Verdict = "new"
+	// Missing: present in the baseline, absent now — a silently dropped
+	// measurement is reported, never ignored.
+	Missing Verdict = "MISSING"
+)
+
+// Delta is one metric's comparison against the baseline.
+type Delta struct {
+	Name    string
+	Verdict Verdict
+	Base    float64
+	Cur     float64
+	Unit    string
+	// ChangePct is the relative movement in percent, signed so that
+	// positive always means worse (direction-normalized).
+	ChangePct float64
+	// LimitPct is the tolerance band in percent after scaling.
+	LimitPct float64
+}
+
+// Compare evaluates cur against base metric by metric. scale multiplies
+// every tolerance (CI uses 2 for noisy shared runners; 1 locally). The
+// current report's tolerance and direction govern each metric — the
+// running suite defines the contract, the baseline only supplies values.
+func Compare(base, cur *Report, scale float64) []Delta {
+	if scale <= 0 {
+		scale = 1
+	}
+	names := make(map[string]bool, len(cur.Metrics)+len(base.Metrics))
+	for n := range cur.Metrics {
+		names[n] = true
+	}
+	for n := range base.Metrics {
+		names[n] = true
+	}
+	deltas := make([]Delta, 0, len(names))
+	for n := range names {
+		cm, haveCur := cur.Metrics[n]
+		bm, haveBase := base.Metrics[n]
+		d := Delta{Name: n, Base: bm.Value, Cur: cm.Value, Unit: cm.Unit}
+		switch {
+		case !haveBase:
+			d.Verdict, d.Unit = NewMetric, cm.Unit
+		case !haveCur:
+			d.Verdict, d.Unit = Missing, bm.Unit
+		default:
+			d.Verdict = verdict(bm.Value, cm, scale)
+			if bm.Value != 0 {
+				d.ChangePct = (cm.Value - bm.Value) / bm.Value * 100
+				if cm.Dir == Higher {
+					d.ChangePct = -d.ChangePct // positive = worse, always
+				}
+			}
+			d.LimitPct = cm.Tol * scale * 100
+		}
+		deltas = append(deltas, d)
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas
+}
+
+// verdict applies the tolerance band: worse than base by more than
+// (relative tol + absolute slack) regresses, better by more than the
+// band improves, anything inside is noise.
+func verdict(base float64, cur Metric, scale float64) Verdict {
+	rel := base * cur.Tol * scale
+	abs := cur.AbsTol * scale
+	worse := cur.Value - base
+	if cur.Dir == Higher {
+		worse = base - cur.Value
+	}
+	switch {
+	case worse > rel+abs:
+		return Regressed
+	case -worse > rel+abs:
+		return Improved
+	default:
+		return OK
+	}
+}
+
+// Regressions filters the deltas the gate fails on: regressed metrics
+// and measurements that vanished.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Verdict == Regressed || d.Verdict == Missing {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Median returns the median of xs (mean of the middle pair for even
+// lengths, 0 for empty input) without mutating xs. Medians-of-N is the
+// suite's noise filter: one descheduled run cannot fail the gate.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}

@@ -1,0 +1,153 @@
+package perfgate
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestReportRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	r := New(time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC), map[string]string{"quick": "true"})
+	r.Add("engine.ppscan.warm_ns", 1.5e6, "ns", Lower, 0.3, 0)
+	r.Add("kernel.merge.melems_per_s", 800, "Melem/s", Higher, 0.25, 0)
+	path, err := r.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_20260807T120000Z.json" {
+		t.Fatalf("filename %s, want BENCH_20260807T120000Z.json", filepath.Base(path))
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion || got.Stamp != r.Stamp {
+		t.Fatalf("roundtrip lost schema/stamp: %+v", got)
+	}
+	if m := got.Metrics["engine.ppscan.warm_ns"]; m.Value != 1.5e6 || m.Dir != Lower || m.Tol != 0.3 {
+		t.Fatalf("roundtrip lost metric: %+v", m)
+	}
+	if got.Config["quick"] != "true" {
+		t.Fatalf("roundtrip lost config: %+v", got.Config)
+	}
+}
+
+func TestLoadRejectsSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_20260101T000000Z.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 99, "metrics": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted a schema-99 file")
+	}
+}
+
+func TestLoadLatest(t *testing.T) {
+	dir := t.TempDir()
+	if r, p, err := LoadLatest(dir, CurrentHost(), false); err != nil || r != nil || p != "" {
+		t.Fatalf("empty dir: got (%v, %q, %v), want (nil, \"\", nil)", r, p, err)
+	}
+	old := New(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC), nil)
+	old.Add("m", 1, "ns", Lower, 0.1, 0)
+	newer := New(time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC), nil)
+	newer.Add("m", 2, "ns", Lower, 0.1, 0)
+	foreign := New(time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC), nil)
+	foreign.Host.GOARCH = "other-arch"
+	foreign.Add("m", 3, "ns", Lower, 0.1, 0)
+	for _, r := range []*Report{old, newer, foreign} {
+		if _, err := r.Write(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A corrupt file must be skipped, not wedge the gate.
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_20269999T999999Z.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, path, err := LoadLatest(dir, CurrentHost(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Metrics["m"].Value != 2 {
+		t.Fatalf("LoadLatest picked %+v (path %s), want the June report (foreign host skipped)", got, path)
+	}
+	// anyHost picks the foreign July report instead.
+	got, _, err = LoadLatest(dir, CurrentHost(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Metrics["m"].Value != 3 {
+		t.Fatalf("LoadLatest(anyHost) picked %+v, want the foreign July report", got)
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	base := New(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC), nil)
+	base.Add("lat_ok", 100, "ns", Lower, 0.2, 0)
+	base.Add("lat_bad", 100, "ns", Lower, 0.2, 0)
+	base.Add("lat_good", 100, "ns", Lower, 0.2, 0)
+	base.Add("thr_bad", 100, "Melem/s", Higher, 0.2, 0)
+	base.Add("allocs", 2, "objects", Lower, 0, 3)
+	base.Add("gone", 1, "ns", Lower, 0.2, 0)
+	cur := New(time.Date(2026, 1, 2, 0, 0, 0, 0, time.UTC), nil)
+	cur.Add("lat_ok", 115, "ns", Lower, 0.2, 0)       // +15% < 20% band
+	cur.Add("lat_bad", 130, "ns", Lower, 0.2, 0)      // +30% > 20% band
+	cur.Add("lat_good", 70, "ns", Lower, 0.2, 0)      // -30%: improved
+	cur.Add("thr_bad", 70, "Melem/s", Higher, 0.2, 0) // -30% throughput: regressed
+	cur.Add("allocs", 4, "objects", Lower, 0, 3)      // +2 <= abs slack 3
+	cur.Add("fresh", 5, "ns", Lower, 0.2, 0)
+
+	want := map[string]Verdict{
+		"lat_ok": OK, "lat_bad": Regressed, "lat_good": Improved,
+		"thr_bad": Regressed, "allocs": OK, "gone": Missing, "fresh": NewMetric,
+	}
+	deltas := Compare(base, cur, 1)
+	if len(deltas) != len(want) {
+		t.Fatalf("%d deltas, want %d", len(deltas), len(want))
+	}
+	for _, d := range deltas {
+		if d.Verdict != want[d.Name] {
+			t.Errorf("%s: verdict %s, want %s (base %.0f cur %.0f)", d.Name, d.Verdict, want[d.Name], d.Base, d.Cur)
+		}
+	}
+	// Direction-normalized sign: regressed throughput reads positive.
+	for _, d := range deltas {
+		if d.Name == "thr_bad" && d.ChangePct <= 0 {
+			t.Errorf("thr_bad ChangePct = %.1f, want positive (worse)", d.ChangePct)
+		}
+	}
+	if regs := Regressions(deltas); len(regs) != 3 { // lat_bad, thr_bad, gone
+		t.Errorf("Regressions returned %d, want 3: %+v", len(regs), regs)
+	}
+	// Doubling the tolerance (CI mode) forgives the 30% movements.
+	for _, d := range Compare(base, cur, 2) {
+		if d.Name == "lat_bad" && d.Verdict != OK {
+			t.Errorf("scale=2: lat_bad verdict %s, want ok", d.Verdict)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{7}, 7},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}

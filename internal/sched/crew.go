@@ -290,13 +290,12 @@ func (c *Crew) runTask(t crewTask, worker int) {
 		m.QueueWaitNs.Observe(start.Sub(t.submitAt).Nanoseconds())
 		sp := m.Tracer.Begin(m.spanName(), m.TIDOffset+worker)
 		c.runRange(t.r, worker)
-		if m.Tracer != nil {
-			//lint:allowalloc span arguments; only built when tracing is on
-			sp.EndArgs(map[string]any{
-				"beg": t.r.Beg, "end": t.r.End, "deg": t.deg,
-			})
-		}
-		m.WorkerBusyNs.Add(worker, time.Since(start).Nanoseconds())
+		// EndTask defers the args-map build to trace export, so recording
+		// the span stays allocation-free on the serving path.
+		sp.EndTask(t.r.Beg, t.r.End, t.deg)
+		busy := time.Since(start).Nanoseconds()
+		m.TaskDurNs.Observe(busy)
+		m.WorkerBusyNs.Add(worker, busy)
 	} else {
 		c.runRange(t.r, worker)
 	}

@@ -55,6 +55,9 @@ type Metrics struct {
 	// QueueWaitNs observes submit-to-start latency per task (scheduling
 	// overhead, the paper's "negligible scheduling cost" claim).
 	QueueWaitNs *obsv.Histogram
+	// TaskDurNs observes each task's execution wall time (queue wait
+	// excluded); its tail is the load-balance signal behind Algorithm 5.
+	TaskDurNs *obsv.Histogram
 	// WorkerBusyNs accumulates per-worker time spent running tasks; shard
 	// = worker index.
 	WorkerBusyNs *obsv.ShardedCounter
@@ -71,7 +74,7 @@ type Metrics struct {
 
 // timed reports whether any instrument needs per-task clock reads.
 func (m *Metrics) timed() bool {
-	return m != nil && (m.QueueWaitNs != nil || m.WorkerBusyNs != nil || m.Tracer != nil)
+	return m != nil && (m.QueueWaitNs != nil || m.TaskDurNs != nil || m.WorkerBusyNs != nil || m.Tracer != nil)
 }
 
 // spanName returns the task-span label.
@@ -336,13 +339,12 @@ func (p *Pool) runTask(t task, worker int) {
 		m.QueueWaitNs.Observe(start.Sub(t.submitAt).Nanoseconds())
 		sp := m.Tracer.Begin(m.spanName(), m.TIDOffset+worker)
 		p.run(t.r, worker)
-		if m.Tracer != nil {
-			//lint:allowalloc span arguments; only built when tracing is on
-			sp.EndArgs(map[string]any{
-				"beg": t.r.Beg, "end": t.r.End, "deg": t.deg,
-			})
-		}
-		m.WorkerBusyNs.Add(worker, time.Since(start).Nanoseconds())
+		// EndTask defers the args-map build to trace export, so recording
+		// the span stays allocation-free on the serving path.
+		sp.EndTask(t.r.Beg, t.r.End, t.deg)
+		busy := time.Since(start).Nanoseconds()
+		m.TaskDurNs.Observe(busy)
+		m.WorkerBusyNs.Add(worker, busy)
 	} else {
 		p.run(t.r, worker)
 	}

@@ -1,0 +1,234 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ppscan"
+	"ppscan/internal/gen"
+	"ppscan/internal/obsv"
+	"ppscan/internal/result"
+)
+
+// TestExemplarRingRetainsSlowest: the ring keeps the K slowest entries,
+// evicting the fastest when a slower one arrives, and ignores faster
+// newcomers once full.
+func TestExemplarRingRetainsSlowest(t *testing.T) {
+	reg := obsv.New()
+	r := newExemplarRing(3, time.Hour, reg.Counter("captures"))
+	now := time.Now()
+	durs := []time.Duration{50, 10, 30, 20, 40, 5} // ms
+	for i, d := range durs {
+		dur := d * time.Millisecond
+		if r.qualifies(dur, now) {
+			r.add(exemplar{At: now.Add(time.Duration(i) * time.Second), Duration: dur})
+		}
+	}
+	got := r.snapshot(now.Add(10 * time.Second))
+	if len(got) != 3 {
+		t.Fatalf("retained %d exemplars, want 3", len(got))
+	}
+	want := []time.Duration{50, 40, 30}
+	for i, e := range got {
+		if e.Duration != want[i]*time.Millisecond {
+			t.Errorf("slot %d: duration %v, want %vms", i, e.Duration, want[i])
+		}
+	}
+	// 5ms must not have qualified once the ring held {50,40,30}.
+	if r.qualifies(5*time.Millisecond, now) {
+		t.Errorf("5ms qualifies against a full ring of {50,40,30}ms")
+	}
+	if r.qualifies(35*time.Millisecond, now) != true {
+		t.Errorf("35ms should qualify against min 30ms")
+	}
+}
+
+// TestExemplarRingWindowExpiry: entries older than the window fall out of
+// snapshots and free their slots for new entries.
+func TestExemplarRingWindowExpiry(t *testing.T) {
+	reg := obsv.New()
+	r := newExemplarRing(2, time.Minute, reg.Counter("captures"))
+	old := time.Now().Add(-2 * time.Minute)
+	r.add(exemplar{At: old, Duration: time.Second})
+	r.add(exemplar{At: old, Duration: 2 * time.Second})
+	now := time.Now()
+	if got := r.snapshot(now); len(got) != 0 {
+		t.Fatalf("snapshot returned %d expired exemplars, want 0", len(got))
+	}
+	// A fast request must qualify because the retained entries expired.
+	if !r.qualifies(time.Millisecond, now) {
+		t.Fatalf("fast request does not qualify although the ring is expired")
+	}
+	r.add(exemplar{At: now, Duration: time.Millisecond})
+	got := r.snapshot(now)
+	if len(got) != 1 || got[0].Duration != time.Millisecond {
+		t.Fatalf("after expiry + add: snapshot %+v, want the 1ms entry alone", got)
+	}
+}
+
+// TestExemplarQualifiesNoAlloc: the warm-path gate allocates nothing.
+func TestExemplarQualifiesNoAlloc(t *testing.T) {
+	reg := obsv.New()
+	r := newExemplarRing(4, time.Hour, reg.Counter("captures"))
+	now := time.Now()
+	for i := 0; i < 4; i++ {
+		r.add(exemplar{At: now, Duration: time.Duration(i+1) * time.Millisecond})
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.qualifies(time.Microsecond, now)
+	})
+	if allocs != 0 {
+		t.Fatalf("qualifies allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestSlowestEndpoint drives a load burst through a trace-armed server
+// and asserts /debug/slowest returns the slowest request with per-stage
+// phase attribution and a loadable Chrome trace.
+func TestSlowestEndpoint(t *testing.T) {
+	g := gen.Roll(2000, 8, 3)
+	s := New(g, 2).WithExemplars(4, time.Hour, true)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx := context.Background()
+	for _, eps := range []string{"0.3", "0.4", "0.5", "0.6", "0.7", "0.8"} {
+		if _, err := s.resolve(ctx, eps, 4, ppscan.AlgoPPSCAN); err != nil {
+			t.Fatalf("resolve eps=%s: %v", eps, err)
+		}
+	}
+
+	res, err := ts.Client().Get(ts.URL + "/debug/slowest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("GET /debug/slowest: status %d", res.StatusCode)
+	}
+	var out slowestResponse
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding /debug/slowest: %v", err)
+	}
+	if !out.TraceCapture {
+		t.Errorf("traceCapture=false, want true")
+	}
+	if out.Capacity != 4 {
+		t.Errorf("capacity=%d, want 4", out.Capacity)
+	}
+	if len(out.Exemplars) != 4 {
+		t.Fatalf("retained %d exemplars, want 4 (6 requests, ring of 4)", len(out.Exemplars))
+	}
+	for i := 1; i < len(out.Exemplars); i++ {
+		if out.Exemplars[i].DurationMs > out.Exemplars[i-1].DurationMs {
+			t.Errorf("exemplars not sorted slowest-first: [%d]=%.3fms > [%d]=%.3fms",
+				i, out.Exemplars[i].DurationMs, i-1, out.Exemplars[i-1].DurationMs)
+		}
+	}
+	slowest := out.Exemplars[0]
+	if slowest.Eps == "" || slowest.Mu != 4 || slowest.Algorithm != string(ppscan.AlgoPPSCAN) {
+		t.Errorf("slowest exemplar parameters incomplete: %+v", slowest)
+	}
+	// Phase attribution: every reported stage present, and at least one
+	// stage with nonzero wall time.
+	var phaseTotal int64
+	for _, name := range result.PhaseNames {
+		ns, ok := slowest.PhaseNs[name]
+		if !ok {
+			t.Errorf("phase %q missing from exemplar breakdown", name)
+		}
+		phaseTotal += ns
+	}
+	if phaseTotal <= 0 {
+		t.Errorf("slowest exemplar has zero total phase time: %v", slowest.PhaseNs)
+	}
+	// Trace: present, with process/thread metadata and phase spans.
+	if slowest.Trace == nil {
+		t.Fatalf("slowest exemplar has no trace although capture is armed")
+	}
+	var haveMeta, havePhase bool
+	for _, ev := range slowest.Trace.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			haveMeta = true
+		case "X":
+			havePhase = true
+		}
+	}
+	if !haveMeta || !havePhase {
+		t.Errorf("trace lacks metadata (%v) or span (%v) events", haveMeta, havePhase)
+	}
+
+	// ?trace=false strips the embedded traces but keeps the breakdown.
+	res2, err := ts.Client().Get(ts.URL + "/debug/slowest?trace=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Body.Close()
+	var out2 slowestResponse
+	if err := json.NewDecoder(res2.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range out2.Exemplars {
+		if e.Trace != nil {
+			t.Errorf("exemplar %d still carries a trace with ?trace=false", i)
+		}
+	}
+
+	// The exemplar metrics are exported.
+	snap := s.reg.Snapshot()
+	if got, ok := snap[obsv.MetricServerExemplarCaptures]; !ok {
+		t.Errorf("%s missing from registry", obsv.MetricServerExemplarCaptures)
+	} else if n, _ := got.(int64); n < 4 {
+		t.Errorf("%s = %v, want >= 4", obsv.MetricServerExemplarCaptures, got)
+	}
+}
+
+// TestExemplarCapturesFailedRuns: a run that fails still lands in the
+// ring with its error and the phase breakdown carried by the
+// PartialError.
+func TestExemplarCapturesFailedRuns(t *testing.T) {
+	g := gen.Roll(500, 6, 3)
+	s := New(g, 1).WithExemplars(2, time.Hour, false)
+	wantErr := &ppscan.PartialError{Phase: "P2 check-core", Err: context.DeadlineExceeded}
+	wantErr.Stats.PhaseTimes[result.PhasePruning] = 7 * time.Millisecond
+	s.runFn = func(ctx context.Context, opt ppscan.Options, ws *ppscan.Workspace) (*ppscan.Result, error) {
+		return nil, wantErr
+	}
+	if _, err := s.resolve(context.Background(), "0.5", 4, ppscan.AlgoPPSCAN); !errors.As(err, new(*ppscan.PartialError)) {
+		t.Fatalf("resolve error = %v, want the injected PartialError", err)
+	}
+	got := s.exemplars.snapshot(time.Now())
+	if len(got) != 1 {
+		t.Fatalf("retained %d exemplars, want 1", len(got))
+	}
+	if got[0].Err == "" {
+		t.Errorf("failed-run exemplar has empty Err")
+	}
+	if got[0].Phases[result.PhasePruning] != 7*time.Millisecond {
+		t.Errorf("failed-run exemplar lost the PartialError phase times: %+v", got[0].Phases)
+	}
+}
+
+// TestWithExemplarsDisable: n < 1 turns retention off entirely.
+func TestWithExemplarsDisable(t *testing.T) {
+	g := gen.Roll(500, 6, 3)
+	s := New(g, 1).WithExemplars(0, 0, true)
+	if _, err := s.resolve(context.Background(), "0.5", 4, ppscan.AlgoPPSCAN); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("GET", "/debug/slowest", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	var out slowestResponse
+	if err := json.NewDecoder(rec.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Capacity != 0 || len(out.Exemplars) != 0 {
+		t.Fatalf("disabled exemplars still report capacity=%d len=%d", out.Capacity, len(out.Exemplars))
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"ppscan/graph"
 	"ppscan/internal/fault"
 	"ppscan/internal/obsv"
+	"ppscan/internal/result"
 	"ppscan/quality"
 )
 
@@ -77,6 +78,20 @@ type Server struct {
 	// watchdog is the per-phase stall timeout threaded into direct
 	// computations (see WithWatchdog); zero disables.
 	watchdog time.Duration
+
+	// Tail-latency exemplars (see WithExemplars and exemplars.go): the
+	// ring retains the slowest direct computations of a sliding window;
+	// when captureTrace is armed, each computation records into a pooled
+	// tracer whose events are exported only for retained exemplars.
+	exemplars    *exemplarRing
+	captureTrace bool
+	trPool       chan *obsv.Tracer
+
+	// Cached instruments for the direct-computation path: end-to-end
+	// compute latency and per-stage phase durations, fetched once in New
+	// so runDirect never touches the registry map.
+	computeNs *obsv.Histogram
+	phaseNs   [result.NumPhases]*obsv.Histogram
 
 	// runFn performs one direct clustering computation on a pooled
 	// workspace. It exists as a test seam (admission tests substitute a
@@ -119,6 +134,14 @@ func New(g *graph.Graph, workers int) *Server {
 		s.reg.Counter(name)
 	}
 	s.reg.Gauge(obsv.MetricAdmissionInFlight)
+	s.computeNs = s.reg.Histogram(obsv.MetricServerComputeNs)
+	for ph := result.PhaseID(0); ph < result.NumPhases; ph++ {
+		s.phaseNs[ph] = s.reg.Histogram(obsv.MetricServerPhasePrefix + result.PhaseNames[ph])
+	}
+	// Exemplar retention is on by default (parameters + phase breakdown
+	// only); trace capture stays opt-in via WithExemplars.
+	s.exemplars = newExemplarRing(4, DefaultExemplarWindow,
+		s.reg.Counter(obsv.MetricServerExemplarCaptures))
 	// The engine-side containment counters live in the process-global
 	// registry; touch them too so a clean server's /metrics proves they
 	// are zero rather than omitting the keys.
@@ -218,6 +241,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/vertex", s.instrument("vertex", s.handleVertex))
 	mux.Handle("/quality", s.instrument("quality", s.handleQuality))
 	mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
+	mux.Handle("/debug/slowest", s.instrument("slowest", s.handleSlowest))
 	return mux
 }
 
@@ -340,6 +364,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	out[obsv.MetricFaultErrors] = fs.Errors
 	out[obsv.MetricFaultRetries] = fs.Retries
 	out[obsv.MetricServerWatchdogNs] = s.watchdog.Nanoseconds()
+	out[obsv.MetricServerExemplars] = s.exemplars.len()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -480,10 +505,18 @@ func (s *Server) runDirect(ctx context.Context, eps string, mu int, algo ppscan.
 			}
 		}
 	}()
+	var tr *obsv.Tracer
+	if s.captureTrace {
+		tr = s.getTracer()
+		defer s.putTracer(tr)
+	}
+	t0 := time.Now()
 	r, err := s.runFn(ctx, ppscan.Options{
 		Algorithm: algo, Epsilon: eps, Mu: mu, Workers: s.workers,
-		StallTimeout: s.watchdog,
+		StallTimeout: s.watchdog, Tracer: tr,
 	}, ws)
+	d := time.Since(t0)
+	s.observeCompute(eps, mu, algo, d, r, err, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -491,6 +524,52 @@ func (s *Server) runDirect(ctx context.Context, eps string, mu int, algo ppscan.
 	// detach it before the deferred Release hands the workspace back. The
 	// clone is what the cache retains and all readers see.
 	return r.Clone(), nil
+}
+
+// observeCompute records one direct computation: end-to-end latency and
+// per-stage phase durations into the server registry, and — when the run
+// is slow enough to qualify — a tail-latency exemplar. Failed runs count
+// too (their phase breakdown comes from the PartialError when one is
+// attached): the tail is where the failures live.
+func (s *Server) observeCompute(eps string, mu int, algo ppscan.Algorithm, d time.Duration, r *ppscan.Result, err error, tr *obsv.Tracer) {
+	s.computeNs.Observe(d.Nanoseconds())
+	phases, havePhases := phaseTimesOf(r, err)
+	if havePhases {
+		for ph := result.PhaseID(0); ph < result.NumPhases; ph++ {
+			if v := phases[ph]; v > 0 {
+				s.phaseNs[ph].Observe(v.Nanoseconds())
+			}
+		}
+	}
+	now := time.Now()
+	if !s.exemplars.qualifies(d, now) {
+		return
+	}
+	e := exemplar{At: now, Eps: eps, Mu: mu, Algo: string(algo), Duration: d}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	if havePhases {
+		e.Phases = phases
+	}
+	if tr != nil {
+		//lint:allowalloc cold path: only runs for requests entering the slowest-K ring
+		e.Trace = tr.Events()
+	}
+	s.exemplars.add(e)
+}
+
+// phaseTimesOf extracts the per-stage durations from a completed result
+// or, for aborted runs, from the PartialError's carried statistics.
+func phaseTimesOf(r *ppscan.Result, err error) ([result.NumPhases]time.Duration, bool) {
+	if err == nil && r != nil {
+		return r.Stats.PhaseTimes, true
+	}
+	var pe *ppscan.PartialError
+	if errors.As(err, &pe) {
+		return pe.Stats.PhaseTimes, true
+	}
+	return [result.NumPhases]time.Duration{}, false
 }
 
 // queryIndex answers from the attached GS*-Index and caches the result.

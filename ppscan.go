@@ -43,6 +43,7 @@ import (
 	"ppscan/internal/engine"
 	"ppscan/internal/gsindex"
 	"ppscan/internal/intersect"
+	"ppscan/internal/obsv"
 	"ppscan/internal/result"
 	"ppscan/internal/simdef"
 
@@ -144,6 +145,25 @@ type Options struct {
 	// scheduler progress for this long is abandoned with a *PartialError
 	// wrapping ErrStalled. Zero — the default — disables the watchdog.
 	StallTimeout time.Duration
+	// Tracer, when non-nil, records the run as Chrome trace_event spans in
+	// the engines that support tracing (ppscan, ppscan-no): phases P1–P7 on
+	// track 0, one span per scheduler task on tracks 1..Workers. A pooled
+	// tracer (Tracer.Reset between runs) keeps traced runs allocation-free
+	// in steady state; export with Tracer.WriteJSON.
+	Tracer *Tracer
+}
+
+// Tracer re-exports the span tracer engines record into; see
+// Options.Tracer. Create with NewTracer, reuse via Tracer.Reset.
+type Tracer = obsv.Tracer
+
+// TraceEvent re-exports one Chrome trace_event record, as returned by
+// Tracer.Events.
+type TraceEvent = obsv.TraceEvent
+
+// NewTracer returns a tracer whose time origin is now.
+func NewTracer() *Tracer {
+	return obsv.NewTracer()
 }
 
 // Run executes the selected algorithm on g and returns its clustering.
@@ -224,13 +244,17 @@ func RunWorkspace(ctx context.Context, g *graph.Graph, opt Options, ws *Workspac
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("ppscan: not started: %w", err)
 	}
-	return eng.RunContext(ctx, g, th, engine.Options{
+	t0 := time.Now()
+	res, err := eng.RunContext(ctx, g, th, engine.Options{
 		Workers:          opt.Workers,
 		Kernel:           opt.Kernel,
 		DegreeThreshold:  opt.DegreeThreshold,
 		StaticScheduling: opt.StaticScheduling,
 		StallTimeout:     opt.StallTimeout,
+		Tracer:           opt.Tracer,
 	}, ws)
+	engine.ObserveRun(string(algo), time.Since(t0))
+	return res, err
 }
 
 // Workspace re-exports engine.Workspace: the pooled container for every
