@@ -12,7 +12,7 @@ GOVULNCHECK_VERSION  ?= v1.1.4
 STATICCHECK          := $(TOOLS_BIN)/staticcheck
 GOVULNCHECK          := $(TOOLS_BIN)/govulncheck
 
-.PHONY: build test vet race check staticcheck govulncheck scanlint lint-fix-list bench bench-obsv bench-alloc alloc-gate chaos perf perf-baseline
+.PHONY: build test vet race check staticcheck govulncheck scanlint lint-fix-list bench bench-obsv bench-alloc alloc-gate chaos perf perf-baseline docs-check
 
 build:
 	$(GO) build ./...
@@ -90,12 +90,21 @@ perf-baseline:
 	@mkdir -p $(PERF_DIR)
 	$(GO) run ./cmd/perfbench -dir $(PERF_DIR) -force-write
 
+# Documentation drift gate (cmd/docscheck): every flag each CLI binary
+# actually registers must have a backticked `-flag` entry in
+# OPERATIONS.md, and every HTTP route the server registers must appear in
+# the README API reference. Built from source like scanlint — no network.
+docs-check:
+	$(GO) build -o $(TOOLS_BIN)/ ./cmd/scanserver ./cmd/ppscan ./cmd/perfbench ./cmd/docscheck
+	$(TOOLS_BIN)/docscheck -ops OPERATIONS.md -readme README.md \
+		$(TOOLS_BIN)/scanserver $(TOOLS_BIN)/ppscan $(TOOLS_BIN)/perfbench
+
 # The pre-merge gate: static checks, the full suite under the race
 # detector (the parallel phases, scheduler telemetry and HTTP middleware
 # are all exercised concurrently), the chaos/fault-containment suite, the
 # non-race allocation gate, then the performance gate against the local
 # trajectory.
-check: vet scanlint staticcheck govulncheck
+check: vet scanlint staticcheck govulncheck docs-check
 	$(GO) test -race ./...
 	$(MAKE) chaos
 	$(MAKE) alloc-gate

@@ -1,0 +1,146 @@
+// Command docscheck keeps the operator documentation honest: it diffs
+// each CLI binary's actual -help output against OPERATIONS.md and the
+// server's registered HTTP routes against the README API reference, and
+// fails when either document has drifted behind the code.
+//
+// Usage (normally via `make docs-check`):
+//
+//	docscheck -ops OPERATIONS.md -readme README.md \
+//	    bin/scanserver bin/ppscan bin/perfbench
+//
+// Each positional argument is a built binary; docscheck runs it with -h,
+// extracts every registered flag name from the usage listing, and
+// requires a backticked `-flag` mention in OPERATIONS.md. Every path from
+// server.Routes() must appear in README.md. Exit status: 0 = docs match,
+// 1 = drift (each missing item is listed), 2 = usage or I/O error.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"ppscan/internal/server"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout))
+}
+
+func realMain(args []string, w io.Writer) int {
+	opsPath, readmePath := "OPERATIONS.md", "README.md"
+	var bins []string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-ops":
+			i++
+			if i >= len(args) {
+				fmt.Fprintln(w, "docscheck: -ops needs a path")
+				return 2
+			}
+			opsPath = args[i]
+		case "-readme":
+			i++
+			if i >= len(args) {
+				fmt.Fprintln(w, "docscheck: -readme needs a path")
+				return 2
+			}
+			readmePath = args[i]
+		default:
+			bins = append(bins, args[i])
+		}
+	}
+
+	ops, err := os.ReadFile(opsPath)
+	if err != nil {
+		fmt.Fprintf(w, "docscheck: %v\n", err)
+		return 2
+	}
+	readme, err := os.ReadFile(readmePath)
+	if err != nil {
+		fmt.Fprintf(w, "docscheck: %v\n", err)
+		return 2
+	}
+
+	drift := 0
+	for _, bin := range bins {
+		help, err := helpOutput(bin)
+		if err != nil {
+			fmt.Fprintf(w, "docscheck: %s: %v\n", bin, err)
+			return 2
+		}
+		name := filepath.Base(bin)
+		for _, missing := range checkFlags(string(ops), parseHelpFlags(help)) {
+			fmt.Fprintf(w, "docscheck: %s flag -%s is not documented in %s\n", name, missing, opsPath)
+			drift++
+		}
+	}
+	for _, missing := range checkRoutes(string(readme), server.Routes()) {
+		fmt.Fprintf(w, "docscheck: route %s is not documented in %s\n", missing, readmePath)
+		drift++
+	}
+	if drift > 0 {
+		fmt.Fprintf(w, "docscheck: %d undocumented item(s) — update the docs or the code\n", drift)
+		return 1
+	}
+	fmt.Fprintf(w, "docscheck: %d binarie(s) and %d routes match the docs\n", len(bins), len(server.Routes()))
+	return 0
+}
+
+// helpOutput runs bin -h and returns the combined usage text. The flag
+// package exits 2 after printing usage, so a non-zero status with output
+// is the expected success shape.
+func helpOutput(bin string) (string, error) {
+	out, err := exec.Command(bin, "-h").CombinedOutput()
+	if len(out) == 0 && err != nil {
+		return "", fmt.Errorf("no usage output: %w", err)
+	}
+	return string(out), nil
+}
+
+// helpFlagRe matches the flag-definition lines the flag package prints:
+// two spaces, a dash, the name ("  -addr string", "  -index").
+var helpFlagRe = regexp.MustCompile(`(?m)^\s\s-([A-Za-z0-9][-A-Za-z0-9]*)\b`)
+
+// parseHelpFlags extracts the registered flag names from -h output.
+func parseHelpFlags(help string) []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, m := range helpFlagRe.FindAllStringSubmatch(help, -1) {
+		if !seen[m[1]] {
+			seen[m[1]] = true
+			names = append(names, m[1])
+		}
+	}
+	return names
+}
+
+// checkFlags returns the flags with no backticked `-flag` mention in the
+// document — the form every OPERATIONS.md flag table uses.
+func checkFlags(doc string, flags []string) []string {
+	var missing []string
+	for _, f := range flags {
+		// `-flag` alone or `-flag value` / `-flag=value` inside the ticks.
+		re := regexp.MustCompile("`-" + regexp.QuoteMeta(f) + "[` =]")
+		if !re.MatchString(doc) {
+			missing = append(missing, f)
+		}
+	}
+	return missing
+}
+
+// checkRoutes returns the registered HTTP paths the document never
+// mentions.
+func checkRoutes(doc string, routes []string) []string {
+	var missing []string
+	for _, r := range routes {
+		if !strings.Contains(doc, r) {
+			missing = append(missing, r)
+		}
+	}
+	return missing
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+const sampleHelp = `Usage of scanserver:
+  -addr string
+    	listen address (default ":8080")
+  -cache int
+    	response-cache capacity (default 64)
+  -coalesce-window duration
+    	merge concurrent clustering requests (0 = off)
+  -index
+    	build a GS*-Index at startup
+  -log-requests
+    	log one structured line per HTTP request
+`
+
+func TestParseHelpFlags(t *testing.T) {
+	got := parseHelpFlags(sampleHelp)
+	want := []string{"addr", "cache", "coalesce-window", "index", "log-requests"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestCheckFlags(t *testing.T) {
+	doc := "| `-addr host:port` | ... |\n| `-cache n` | ... |\n| `-index` | ... |\n" +
+		"| `-coalesce-window d` | ... |\n"
+	missing := checkFlags(doc, []string{"addr", "cache", "coalesce-window", "index", "log-requests"})
+	if !reflect.DeepEqual(missing, []string{"log-requests"}) {
+		t.Fatalf("missing = %v, want [log-requests]", missing)
+	}
+	// A bare substring must not satisfy the check: "-cache" inside prose
+	// without backticks is not a documented flag entry.
+	missing = checkFlags("use -cache to size it", []string{"cache"})
+	if len(missing) != 1 {
+		t.Fatalf("unbackticked mention accepted: missing = %v", missing)
+	}
+}
+
+func TestCheckRoutes(t *testing.T) {
+	doc := "### `GET /cluster`\n### `GET /cluster/sweep`\n`GET /healthz`\n"
+	missing := checkRoutes(doc, []string{"/healthz", "/cluster", "/cluster/sweep", "/metrics"})
+	if !reflect.DeepEqual(missing, []string{"/metrics"}) {
+		t.Fatalf("missing = %v, want [/metrics]", missing)
+	}
+}

@@ -363,6 +363,63 @@ func benchServer(cfg config, g *graph.Graph, cur *perfgate.Report) error {
 		}
 	}
 	cur.Add("server.request_ns", perfgate.Median(samples), "ns", perfgate.Lower, 0.4, 0)
+	return benchSweep(cfg, g, cur)
+}
+
+// benchSweep measures the ε-sweep serving path: one similarity pass
+// (GS*-Index attached, so builds are excluded) streamed as an 11-step
+// NDJSON grid, plus the per-query warm latency of the index extraction
+// that both the sweep and request coalescing are built on.
+func benchSweep(cfg config, g *graph.Graph, cur *perfgate.Report) error {
+	ix := ppscan.BuildIndex(g, 0)
+	s := server.New(g, 0).WithIndex(ix).WithCacheSize(1)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	url := fmt.Sprintf("%s/cluster/sweep?eps=0.2:0.7:0.05&mu=%d", ts.URL, cfg.mu)
+	sweep := func() error {
+		res, err := client.Get(url)
+		if err != nil {
+			return err
+		}
+		defer res.Body.Close()
+		if _, err := io.Copy(io.Discard, res.Body); err != nil {
+			return err
+		}
+		if res.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d", url, res.StatusCode)
+		}
+		return nil
+	}
+	if err := sweep(); err != nil { // warm the pool
+		return err
+	}
+	samples := make([]float64, 0, cfg.runs)
+	for r := 0; r < cfg.runs; r++ {
+		t0 := time.Now()
+		if err := sweep(); err != nil {
+			return err
+		}
+		samples = append(samples, float64(time.Since(t0).Nanoseconds()))
+	}
+	cur.Add("server.sweep_request_ns", perfgate.Median(samples), "ns", perfgate.Lower, 0.4, 0)
+
+	// Warm single-ε extraction: the unit of work a sweep repeats per step
+	// and a coalesced waiter performs after the shared pass completes.
+	ws := ppscan.NewWorkspace()
+	defer ws.Close()
+	if _, err := ppscan.QueryIndexWorkspace(context.Background(), ix, cfg.eps, cfg.mu, ws); err != nil {
+		return err
+	}
+	qsamples := make([]float64, 0, cfg.runs)
+	for r := 0; r < cfg.runs; r++ {
+		t0 := time.Now()
+		if _, err := ppscan.QueryIndexWorkspace(context.Background(), ix, cfg.eps, cfg.mu, ws); err != nil {
+			return err
+		}
+		qsamples = append(qsamples, float64(time.Since(t0).Nanoseconds()))
+	}
+	cur.Add("index.query_warm_ns", perfgate.Median(qsamples), "ns", perfgate.Lower, 0.4, 0)
 	return nil
 }
 

@@ -7,12 +7,17 @@
 //	scanserver -graph web.bin -index -addr :8080
 //
 // Endpoints: /healthz, /cluster?eps=&mu=[&algo=&members=true],
-// /vertex?v=&eps=&mu=, /quality?eps=&mu=, /metrics, and /debug/slowest —
-// the tail-latency exemplars: the -exemplars slowest computations of the
-// last 15 minutes, each with its per-phase breakdown and a Chrome trace
-// of the actual run (load in chrome://tracing or ui.perfetto.dev). With
-// -pprof, the Go profiling endpoints are additionally served under
-// /debug/pprof/.
+// /cluster/sweep?eps=start:end:step&mu= (one similarity pass, one NDJSON
+// line per eps step), /vertex?v=&eps=&mu=, /quality?eps=&mu=, /metrics,
+// and /debug/slowest — the tail-latency exemplars: the -exemplars slowest
+// computations of the last 15 minutes, each with its per-phase breakdown
+// and a Chrome trace of the actual run (load in chrome://tracing or
+// ui.perfetto.dev). With -pprof, the Go profiling endpoints are
+// additionally served under /debug/pprof/.
+//
+// -coalesce-window merges concurrent requests with different (eps, mu)
+// into a single shared similarity pass whose result fans out to every
+// waiter — the throughput lever for parameter-exploration traffic.
 //
 // -algo selects the default algorithm backend for requests that omit the
 // algo query parameter; -list-algos prints the registered backends. Direct
@@ -66,6 +71,9 @@ func main() {
 		pprofOn   = flag.Bool("pprof", false, "expose the Go profiling endpoints under /debug/pprof/")
 		logReqs   = flag.Bool("log-requests", false, "log one structured line per HTTP request")
 
+		coalesceWin = flag.Duration("coalesce-window", 0, "merge concurrent clustering requests into single-flight similarity passes, holding the first request up to this long so others pile on (0 = coalescing off; ignored with -index)")
+		sweepSteps  = flag.Int("sweep-max-steps", server.DefaultSweepMaxSteps, "max eps steps one /cluster/sweep request may stream")
+
 		maxInflight = flag.Int("max-inflight", 0, "max concurrent clustering computations (0 = unlimited); excess requests degrade to cache/index or get 429")
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-request computation deadline (0 = none); exceeded requests get 503")
 		grace       = flag.Duration("shutdown-grace", 15*time.Second, "max time to wait for in-flight requests on SIGTERM/SIGINT")
@@ -111,7 +119,16 @@ func main() {
 		WithCacheSize(*cacheSize).
 		WithAdmission(*maxInflight, *reqTimeout).
 		WithWatchdog(*watchdog).
+		WithSweepMaxSteps(*sweepSteps).
 		WithAlgorithm(ppscan.Algorithm(*algoName))
+	if *coalesceWin > 0 {
+		if *useIndex {
+			log.Printf("-coalesce-window ignored: the GS*-Index already shares similarities across requests")
+		} else {
+			srv = srv.WithCoalescing(*coalesceWin)
+			log.Printf("request coalescing: concurrent (eps, mu) requests share one similarity pass (window %v)", *coalesceWin)
+		}
+	}
 	if *exemplars > 0 {
 		// Arm trace capture: every retained slow request carries its Chrome
 		// trace. WithExemplars after WithAdmission so the tracer pool sizes

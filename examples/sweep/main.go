@@ -1,9 +1,17 @@
 // Interactive parameter exploration — the paper's motivation for sub-minute
 // clustering: analysts sweep (ε, µ) to find a parameterization whose
-// clusters match their domain intuition. This example sweeps the grid on a
-// scale-free graph and prints, for each setting, the cluster count, core
-// count, coverage and runtime — the dashboard an interactive tool would
-// show.
+// clusters match their domain intuition. The expensive similarity
+// computation does not depend on ε or µ, so the server's GET
+// /cluster/sweep endpoint computes it ONCE per request and streams one
+// NDJSON clustering per ε step — this example starts an in-process server
+// (with request coalescing armed, as a production deployment would) and
+// consumes that stream for three values of µ, printing the dashboard an
+// interactive tool would show.
+//
+// Contrast with calling ppscan.Run per gridpoint: a 7×3 grid would
+// perform 21 similarity passes; the sweep endpoint performs 3 (one per
+// request), and with -coalesce-window even concurrent explorers share
+// them.
 //
 // Run with:
 //
@@ -11,13 +19,17 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"time"
 
-	"ppscan"
 	"ppscan/graph"
 	"ppscan/internal/gen"
+	"ppscan/internal/server"
 )
 
 func main() {
@@ -34,55 +46,56 @@ func main() {
 	}
 	fmt.Println(graph.ComputeStats("mixed", g))
 
-	epsGrid := []string{"0.2", "0.3", "0.4", "0.5", "0.6", "0.7", "0.8"}
-	muGrid := []int{2, 5, 10}
-
-	fmt.Printf("\n%-5s %4s %10s %10s %10s %12s\n", "eps", "mu", "clusters", "cores", "coverage", "runtime")
-	var total time.Duration
-	for _, mu := range muGrid {
-		for _, eps := range epsGrid {
-			t0 := time.Now()
-			res, err := ppscan.Run(g, ppscan.Options{Epsilon: eps, Mu: mu})
-			if err != nil {
-				log.Fatal(err)
-			}
-			dt := time.Since(t0)
-			total += dt
-			covered := 0
-			for _, in := range res.Clustered() {
-				if in {
-					covered++
-				}
-			}
-			fmt.Printf("%-5s %4d %10d %10d %9.1f%% %12v\n",
-				eps, mu, res.NumClusters(), res.NumCores(),
-				100*float64(covered)/float64(g.NumVertices()),
-				dt.Round(time.Millisecond))
-		}
+	// Serve it the way scanserver would:
+	//   scanserver -graph mixed.bin -coalesce-window 10ms
+	srv := server.New(g, 0).WithCoalescing(10 * time.Millisecond)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("\nfull %d-point sweep in %v — interactive exploration is feasible\n",
-		len(epsGrid)*len(muGrid), total.Round(time.Millisecond))
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
 
-	// Alternative: pay one exhaustive indexing pass (GS*-Index), then every
-	// query is near-instant. The paper's point (§3.3) is that the indexing
-	// pass itself is what ppSCAN avoids; for repeated exploration of one
-	// graph it can still amortize.
+	// One sweep request per µ: each computes similarities once and streams
+	// seven clusterings as they are extracted.
+	fmt.Printf("\n%-5s %4s %10s %10s %10s %12s\n", "eps", "mu", "clusters", "cores", "coverage", "extractMs")
 	t0 := time.Now()
-	ix := ppscan.BuildIndex(g, 0)
-	buildTime := time.Since(t0)
-	t0 = time.Now()
-	queries := 0
-	for _, mu := range muGrid {
-		for _, eps := range epsGrid {
-			res, err := ix.Query(eps, int32(mu))
-			if err != nil {
-				log.Fatal(err)
-			}
-			_ = res.NumClusters()
-			queries++
+	passes := 0
+	for _, mu := range []int{2, 5, 10} {
+		resp, err := http.Get(fmt.Sprintf("%s/cluster/sweep?eps=0.2:0.8:0.1&mu=%d", base, mu))
+		if err != nil {
+			log.Fatal(err)
 		}
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("sweep: status %d", resp.StatusCode)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var step struct {
+				Eps       string  `json:"eps"`
+				Mu        int     `json:"mu"`
+				Clusters  int     `json:"clusters"`
+				Cores     int     `json:"cores"`
+				Coverage  float64 `json:"coverage"`
+				RuntimeMs float64 `json:"runtimeMs"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &step); err != nil {
+				log.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+			}
+			fmt.Printf("%-5s %4d %10d %10d %9.1f%% %11.2fms\n",
+				step.Eps, step.Mu, step.Clusters, step.Cores,
+				100*step.Coverage, step.RuntimeMs)
+		}
+		if err := sc.Err(); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		passes++
 	}
-	fmt.Printf("GS*-Index: build %v (%.1f MB), then %d queries in %v total\n",
-		buildTime.Round(time.Millisecond), float64(ix.MemoryBytes())/1e6,
-		queries, time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("\n21 clusterings from %d similarity passes in %v\n",
+		passes, time.Since(t0).Round(time.Millisecond))
+	fmt.Println("(a per-gridpoint ppscan.Run loop would have computed similarities 21 times)")
 }

@@ -176,6 +176,16 @@ func TestScanserverAdmissionFlags(t *testing.T) {
 		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 			t.Fatal(err)
 		}
+		// Read stderr to EOF (the child exiting closes the pipe) BEFORE
+		// cmd.Wait: Wait closes the pipe and can discard buffered log
+		// lines when reads are still in flight (see os/exec StderrPipe
+		// docs) — under a loaded machine that raced away the drain lines.
+		var log string
+		select {
+		case log = <-output:
+		case <-time.After(15 * time.Second):
+			t.Fatal("scanserver did not exit after SIGTERM")
+		}
 		waitErr := make(chan error, 1)
 		go func() { waitErr <- cmd.Wait() }()
 		select {
@@ -183,16 +193,11 @@ func TestScanserverAdmissionFlags(t *testing.T) {
 			if err != nil {
 				t.Fatalf("scanserver exited non-zero after SIGTERM: %v", err)
 			}
-		case <-time.After(15 * time.Second):
+		case <-time.After(5 * time.Second):
 			t.Fatal("scanserver did not exit after SIGTERM")
 		}
-		select {
-		case log := <-output:
-			if !strings.Contains(log, "drained") {
-				t.Errorf("shutdown log missing 'drained':\n%s", log)
-			}
-		case <-time.After(5 * time.Second):
-			t.Fatal("server output never closed")
+		if !strings.Contains(log, "drained") {
+			t.Errorf("shutdown log missing 'drained':\n%s", log)
 		}
 	})
 }

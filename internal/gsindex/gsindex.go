@@ -22,6 +22,12 @@
 // cross-multiplication (simdef.CompareSimValues / Epsilon.PredP), so index
 // queries return bit-identical results to every direct algorithm in this
 // module.
+//
+// Query allocates its own result buffers; QueryWorkspace (queryws.go) is
+// the serving-path variant, drawing every extraction buffer from a pooled
+// engine.Workspace and honoring context cancellation — the primitive
+// behind the server's request coalescing and GET /cluster/sweep, where
+// one Build amortizes across many (ε, µ) extractions.
 package gsindex
 
 import (

@@ -1,0 +1,91 @@
+package gsindex
+
+import (
+	"context"
+	"testing"
+
+	"ppscan/internal/algotest"
+	"ppscan/internal/engine"
+	"ppscan/internal/result"
+)
+
+// TestQueryWorkspaceMatchesQuery proves the workspace-backed extraction is
+// bit-identical to Query across the corpus and the parameter grid, with
+// ONE workspace reused for every query — the sweep serving pattern.
+func TestQueryWorkspaceMatchesQuery(t *testing.T) {
+	ws := engine.NewWorkspace()
+	defer ws.Close()
+	for _, tc := range algotest.Corpus() {
+		ix := Build(tc.G, BuildOptions{Workers: 2})
+		for _, th := range algotest.Params() {
+			want, err := ix.Query(th.Eps.String(), th.Mu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ix.QueryWorkspace(context.Background(), th.Eps.String(), th.Mu, ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := result.Equal(want, got); err != nil {
+				t.Fatalf("%s eps=%s mu=%d: %v", tc.Name, th.Eps, th.Mu, err)
+			}
+		}
+	}
+}
+
+// TestQueryWorkspaceNilWorkspace covers the transient-scratch fallback.
+func TestQueryWorkspaceNilWorkspace(t *testing.T) {
+	g := algotest.RandomGraph(7)
+	th := algotest.RandomThreshold(7)
+	ix := Build(g, BuildOptions{Workers: 2})
+	want, err := ix.Query(th.Eps.String(), th.Mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.QueryWorkspace(context.Background(), th.Eps.String(), th.Mu, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := result.Equal(want, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryWorkspaceCancelled proves a cancelled context aborts the
+// extraction with the context's error and leaves the workspace reusable.
+func TestQueryWorkspaceCancelled(t *testing.T) {
+	g := algotest.RandomGraph(11)
+	ix := Build(g, BuildOptions{Workers: 2})
+	ws := engine.NewWorkspace()
+	defer ws.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ix.QueryWorkspace(ctx, "0.5", 3, ws); err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// The workspace must still serve a fresh extraction after the abort.
+	want, err := ix.Query("0.5", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.QueryWorkspace(context.Background(), "0.5", 3, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := result.Equal(want, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryWorkspaceBadParams mirrors Query's validation.
+func TestQueryWorkspaceBadParams(t *testing.T) {
+	g := algotest.RandomGraph(3)
+	ix := Build(g, BuildOptions{Workers: 2})
+	ws := engine.NewWorkspace()
+	defer ws.Close()
+	for _, eps := range []string{"", "1.5", "-0.2", "abc"} {
+		if _, err := ix.QueryWorkspace(context.Background(), eps, 2, ws); err == nil {
+			t.Errorf("eps=%q: expected an error", eps)
+		}
+	}
+}

@@ -182,4 +182,41 @@ const (
 	// a superstep key ("s1_adjacency_exchange", ...) distributes wall time
 	// per BSP superstep, retries included.
 	MetricDistSuperstepPrefix = "distscan.superstep_ns."
+
+	// Request-coalescing metrics (server-local; see Server.WithCoalescing).
+	//
+	// MetricServerCoalesceFlights counts shared similarity passes started —
+	// one per single-flight group, however many requests share it.
+	MetricServerCoalesceFlights = "server.coalesce.flights"
+	// MetricServerCoalesceHits counts requests that joined an already-open
+	// flight instead of starting their own similarity pass; flights + hits
+	// is the total coalesced request count.
+	MetricServerCoalesceHits = "server.coalesce.hits"
+	// MetricServerCoalesceCancels counts flights whose shared pass was
+	// cancelled because the last waiter left before it finished.
+	MetricServerCoalesceCancels = "server.coalesce.cancels"
+	// MetricServerCoalesceFanout is a histogram of waiters per completed
+	// flight — the amortization factor coalescing achieved.
+	MetricServerCoalesceFanout = "server.coalesce.fanout"
+	// MetricServerCoalesceBuildNs is a histogram of shared similarity-pass
+	// (index build) durations.
+	MetricServerCoalesceBuildNs = "server.coalesce.build_ns"
+
+	// Sweep-endpoint metrics (server-local; see GET /cluster/sweep).
+	//
+	// MetricServerSweepSteps counts ε steps streamed across all sweep
+	// requests; MetricServerSweepStepNs distributes per-step extraction
+	// time (similarities are never recomputed per step).
+	MetricServerSweepSteps  = "server.sweep.steps"
+	MetricServerSweepStepNs = "server.sweep.step_ns"
+	// MetricServerSweepBuilds counts similarity passes performed for sweep
+	// requests that had neither an attached index nor a coalescer to share
+	// one with.
+	MetricServerSweepBuilds = "server.sweep.builds"
+	// MetricServerSweepDisconnects counts sweeps abandoned mid-stream
+	// because the client went away or the request deadline expired.
+	MetricServerSweepDisconnects = "server.sweep.disconnects"
+	// MetricServerSweepMaxSteps echoes the configured per-request step
+	// bound (-sweep-max-steps) so dashboards can normalize step counts.
+	MetricServerSweepMaxSteps = "server.sweep.max_steps"
 )

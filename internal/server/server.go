@@ -10,6 +10,9 @@
 //	                                  algorithm; default ppscan) and return
 //	                                  a JSON summary
 //	GET /cluster?...&members=true   — include full cluster member lists
+//	GET /cluster/sweep?eps=0.2:0.8:0.05&mu=5
+//	                                — ONE similarity pass, one NDJSON
+//	                                  clustering per ε step (sweep.go)
 //	GET /vertex?v=17&eps=0.6&mu=5   — role, cluster(s) and attachment of
 //	                                  one vertex
 //	GET /quality?eps=0.6&mu=5       — modularity/coverage and top clusters
@@ -18,12 +21,17 @@
 //	                                  hits/misses/evictions, in-flight
 //	                                  queries, graph and runtime stats, and
 //	                                  the global algorithm metrics
+//	GET /debug/slowest              — tail-latency exemplars with phase
+//	                                  breakdowns and Chrome traces
 //
 // When the server is constructed with an index (WithIndex), /cluster and
 // /vertex are answered from the GS*-Index in O(answer) time; otherwise
-// each request runs the configured algorithm. Responses for identical
-// parameters are kept in an LRU cache bounded by DefaultCacheSize (see
-// WithCacheSize). WithLogging enables structured per-request log lines.
+// each request runs the configured algorithm. WithCoalescing merges
+// concurrent index-less requests — even at different (ε, µ) — into one
+// single-flight similarity pass fanned out to every waiter (coalesce.go).
+// Responses for identical parameters are kept in an LRU cache bounded by
+// DefaultCacheSize (see WithCacheSize). WithLogging enables structured
+// per-request log lines.
 package server
 
 import (
@@ -78,6 +86,18 @@ type Server struct {
 	// watchdog is the per-phase stall timeout threaded into direct
 	// computations (see WithWatchdog); zero disables.
 	watchdog time.Duration
+
+	// coalesce, when non-nil, merges concurrent direct computations into
+	// single-flight similarity passes (see WithCoalescing and coalesce.go).
+	coalesce *coalescer
+
+	// Sweep serving (see WithSweepMaxSteps and sweep.go): the per-request
+	// ε-grid bound and the cached sweep instruments.
+	sweepMaxSteps    int
+	sweepSteps       *obsv.Counter
+	sweepBuilds      *obsv.Counter
+	sweepDisconnects *obsv.Counter
+	sweepStepNs      *obsv.Histogram
 
 	// Tail-latency exemplars (see WithExemplars and exemplars.go): the
 	// ring retains the slowest direct computations of a sliding window;
@@ -134,6 +154,14 @@ func New(g *graph.Graph, workers int) *Server {
 		s.reg.Counter(name)
 	}
 	s.reg.Gauge(obsv.MetricAdmissionInFlight)
+	// Sweep instruments, pre-registered for the same reason (the coalesce.*
+	// family is registered by WithCoalescing — absent keys mean coalescing
+	// is off, not merely idle).
+	s.sweepMaxSteps = DefaultSweepMaxSteps
+	s.sweepSteps = s.reg.Counter(obsv.MetricServerSweepSteps)
+	s.sweepBuilds = s.reg.Counter(obsv.MetricServerSweepBuilds)
+	s.sweepDisconnects = s.reg.Counter(obsv.MetricServerSweepDisconnects)
+	s.sweepStepNs = s.reg.Histogram(obsv.MetricServerSweepStepNs)
 	s.computeNs = s.reg.Histogram(obsv.MetricServerComputeNs)
 	for ph := result.PhaseID(0); ph < result.NumPhases; ph++ {
 		s.phaseNs[ph] = s.reg.Histogram(obsv.MetricServerPhasePrefix + result.PhaseNames[ph])
@@ -213,6 +241,47 @@ func (s *Server) WithWatchdog(d time.Duration) *Server {
 	return s
 }
 
+// WithCoalescing merges concurrent direct computations into single-flight
+// similarity passes: the first request opens a flight and waits up to
+// holdoff for companions; one shared GS*-Index build — one SCAN-XP-cost
+// similarity pass, under a single admission slot — then answers every
+// waiter's (ε, µ) via O(answer) extraction on pooled workspaces. A waiter
+// leaving (disconnect, deadline) never cancels the shared pass unless it
+// is the last one.
+//
+// Coalescing replaces the per-request direct path, so enable it for
+// parameter-exploration traffic (bursts of concurrent (ε, µ) requests on
+// one graph): a lone request pays the holdoff latency plus an exhaustive
+// similarity pass where pruning might have done less work. It is ignored
+// when an index is attached (WithIndex already shares similarities).
+// holdoff < 0 is clamped to 0 — no pile-on window, but requests still
+// join a flight already in progress.
+func (s *Server) WithCoalescing(holdoff time.Duration) *Server {
+	if holdoff < 0 {
+		holdoff = 0
+	}
+	s.coalesce = &coalescer{
+		s:       s,
+		holdoff: holdoff,
+		flights: s.reg.Counter(obsv.MetricServerCoalesceFlights),
+		hits:    s.reg.Counter(obsv.MetricServerCoalesceHits),
+		cancels: s.reg.Counter(obsv.MetricServerCoalesceCancels),
+		fanout:  s.reg.Histogram(obsv.MetricServerCoalesceFanout),
+		buildNs: s.reg.Histogram(obsv.MetricServerCoalesceBuildNs),
+	}
+	return s
+}
+
+// WithSweepMaxSteps bounds the ε grid one GET /cluster/sweep request may
+// stream (default DefaultSweepMaxSteps); n < 1 restores the default.
+func (s *Server) WithSweepMaxSteps(n int) *Server {
+	if n < 1 {
+		n = DefaultSweepMaxSteps
+	}
+	s.sweepMaxSteps = n
+	return s
+}
+
 // WithAlgorithm sets the algorithm used when a request omits the algo
 // query parameter (default ppscan.AlgoPPSCAN). The name must be a
 // registered backend — see ppscan.EngineNames.
@@ -230,18 +299,50 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 // Draining reports whether SetDraining(true) was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// route is one entry of the endpoint table: the path Handler registers,
+// the short name instruments are keyed on, and the handler itself.
+type route struct {
+	path string
+	name string
+	h    http.HandlerFunc
+}
+
+// routes is the single source of truth for the server's endpoints: Handler
+// registers exactly this table, and Routes exposes the paths so docs
+// tooling (cmd/docscheck) can hold the README API reference to it.
+func (s *Server) routes() []route {
+	return []route{
+		{"/healthz", "healthz", s.handleHealth},
+		{"/cluster", "cluster", s.handleCluster},
+		{"/cluster/sweep", "sweep", s.handleSweep},
+		{"/vertex", "vertex", s.handleVertex},
+		{"/quality", "quality", s.handleQuality},
+		{"/metrics", "metrics", s.handleMetrics},
+		{"/debug/slowest", "slowest", s.handleSlowest},
+	}
+}
+
+// Routes lists every path Handler registers, in registration order. Docs
+// tooling diffs the README HTTP API reference against this list.
+func Routes() []string {
+	s := &Server{} // handlers are method values, never invoked here
+	rts := s.routes()
+	paths := make([]string, len(rts))
+	for i, rt := range rts {
+		paths[i] = rt.path
+	}
+	return paths
+}
+
 // Handler returns the HTTP handler exposing all endpoints. Every endpoint
 // is wrapped in the instrumentation middleware feeding the server registry
 // (request/error counts, latency histograms, in-flight gauge) surfaced at
 // GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/healthz", s.instrument("healthz", s.handleHealth))
-	mux.Handle("/cluster", s.instrument("cluster", s.handleCluster))
-	mux.Handle("/vertex", s.instrument("vertex", s.handleVertex))
-	mux.Handle("/quality", s.instrument("quality", s.handleQuality))
-	mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
-	mux.Handle("/debug/slowest", s.instrument("slowest", s.handleSlowest))
+	for _, rt := range s.routes() {
+		mux.Handle(rt.path, s.instrument(rt.name, rt.h))
+	}
 	return mux
 }
 
@@ -265,6 +366,15 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	n, err := r.ResponseWriter.Write(b)
 	r.bytes += n
 	return n, err
+}
+
+// Flush forwards to the underlying writer so streaming endpoints
+// (/cluster/sweep) can push each NDJSON line immediately; the embedded
+// interface alone would hide the wrapped writer's Flusher.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps an endpoint with metrics collection and optional
@@ -364,6 +474,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	out[obsv.MetricFaultErrors] = fs.Errors
 	out[obsv.MetricFaultRetries] = fs.Retries
 	out[obsv.MetricServerWatchdogNs] = s.watchdog.Nanoseconds()
+	out[obsv.MetricServerSweepMaxSteps] = s.sweepMaxSteps
 	out[obsv.MetricServerExemplars] = s.exemplars.len()
 	writeJSON(w, http.StatusOK, out)
 }
@@ -431,6 +542,25 @@ func (s *Server) acquire() (release func(), ok bool) {
 	}
 }
 
+// acquireShared takes an admission slot for a shared (coalesced)
+// computation, blocking until one frees up or ctx — the flight's group
+// context — is cancelled. Per-request admission never queues; a flight
+// may, because it holds the slot on behalf of its whole batch and every
+// waiter's own deadline still bounds the wait.
+func (s *Server) acquireShared(ctx context.Context) (release func(), err error) {
+	if s.sem == nil {
+		return func() {}, nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	g := s.reg.Gauge(obsv.MetricAdmissionInFlight)
+	g.Add(1)
+	return func() { g.Add(-1); <-s.sem }, nil
+}
+
 // saturated reports whether every admission slot is currently held. The
 // read is a racy snapshot; it is used only to attribute cache hits to the
 // degraded-serving counter, never for admission decisions.
@@ -444,7 +574,9 @@ func (s *Server) saturated() bool {
 // and the configured per-request deadline).
 func (s *Server) resolve(ctx context.Context, eps string, mu int, algo ppscan.Algorithm) (*ppscan.Result, error) {
 	key := cacheKey{eps: eps, mu: mu, algo: algo}
-	if s.ix != nil {
+	if s.ix != nil || s.coalesce != nil {
+		// Index-derived answers are algorithm-independent: share one cache
+		// entry per (eps, mu) regardless of the requested algo.
 		key.algo = "index"
 	}
 	s.mu.Lock()
@@ -458,6 +590,18 @@ func (s *Server) resolve(ctx context.Context, eps string, mu int, algo ppscan.Al
 		return cached, nil
 	}
 	s.reg.Counter(obsv.MetricCacheMisses).Inc()
+	if s.coalesce != nil && s.ix == nil {
+		// Single-flight path: the flight holds the admission slot for the
+		// shared pass; this request only waits and extracts.
+		res, err := s.coalesce.do(ctx, eps, mu)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.cache.add(key, res)
+		s.mu.Unlock()
+		return res, nil
+	}
 	release, ok := s.acquire()
 	if !ok {
 		if s.ix != nil {

@@ -1,0 +1,287 @@
+// GET /cluster/sweep — parameter-sweep serving: compute similarities
+// once, stream one clustering per ε step.
+//
+// The paper's own motivation for structural clustering is interactive
+// (ε, µ) exploration, and the expensive similarity computation does not
+// depend on either parameter. A sweep request therefore obtains ONE
+// similarity artifact — the attached GS*-Index, the coalescer's current
+// flight, or a per-request build under this request's admission slot —
+// and then extracts every requested ε from it on a single pooled
+// workspace, emitting one NDJSON line per step as soon as it is ready.
+//
+// The ε grid is parsed with exact integer decimal arithmetic: "0.2:0.8:
+// 0.05" generates the exact decimal strings "0.2", "0.25", ..., "0.8",
+// never float-accumulated approximations, so every step agrees
+// bit-for-bit with a direct /cluster request at the same ε.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"ppscan"
+	"ppscan/internal/obsv"
+	"ppscan/internal/simdef"
+	"ppscan/quality"
+)
+
+// DefaultSweepMaxSteps bounds the ε grid a single sweep request may
+// stream unless overridden with WithSweepMaxSteps: a runaway grid
+// ("0.0001:1:0.0001") would otherwise hold its workspace and admission
+// slot for 10⁴ extractions.
+const DefaultSweepMaxSteps = 256
+
+// parseSweepEps expands the eps specification into exact decimal epsilon
+// strings: either a range "start:end:step" (inclusive endpoints, decimal
+// literals), a comma list "0.2,0.35,0.5", or a single value. At most max
+// steps.
+func parseSweepEps(spec string, max int) ([]string, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("missing eps parameter (range start:end:step, comma list, or single value)")
+	}
+	if strings.Contains(spec, ":") {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad eps range %q, want start:end:step", spec)
+		}
+		a, as, err := parseDec(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad eps range start %q: %w", parts[0], err)
+		}
+		b, bs, err := parseDec(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad eps range end %q: %w", parts[1], err)
+		}
+		st, ss, err := parseDec(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("bad eps range step %q: %w", parts[2], err)
+		}
+		// Rescale all three to the finest scale so the grid walk is exact
+		// integer arithmetic.
+		scale := as
+		if bs > scale {
+			scale = bs
+		}
+		if ss > scale {
+			scale = ss
+		}
+		a *= pow10(scale - as)
+		b *= pow10(scale - bs)
+		st *= pow10(scale - ss)
+		if st <= 0 {
+			return nil, fmt.Errorf("eps range step must be > 0")
+		}
+		if a > b {
+			return nil, fmt.Errorf("eps range start %s > end %s", parts[0], parts[1])
+		}
+		steps := (b-a)/st + 1
+		if steps > int64(max) {
+			return nil, fmt.Errorf("eps range %q has %d steps, exceeding the per-request bound %d (-sweep-max-steps)", spec, steps, max)
+		}
+		out := make([]string, 0, steps)
+		for v := a; v <= b; v += st {
+			out = append(out, formatDec(v, scale))
+		}
+		return out, nil
+	}
+	out := strings.Split(spec, ",")
+	if len(out) > max {
+		return nil, fmt.Errorf("eps list has %d values, exceeding the per-request bound %d (-sweep-max-steps)", len(out), max)
+	}
+	return out, nil
+}
+
+// parseDec parses a non-negative decimal literal into value × 10⁻ˢᶜᵃˡᵉ.
+// Exactness matters: ε is thresholded with exact rational arithmetic
+// downstream, so the grid must be generated in integer space — a
+// float-accumulated 0.30000000000000004 would miss the exact gridpoint.
+func parseDec(s string) (value int64, scale int, err error) {
+	intPart, frac, _ := strings.Cut(s, ".")
+	digits := intPart + frac
+	if digits == "" || len(digits) > 15 || strings.ContainsAny(s, "+-") {
+		return 0, 0, fmt.Errorf("want a plain decimal like 0.05")
+	}
+	v, err := strconv.ParseInt(digits, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("want a plain decimal like 0.05")
+	}
+	return v, len(frac), nil
+}
+
+// pow10 returns 10ⁿ for the small scale deltas parseSweepEps needs.
+func pow10(n int) int64 {
+	p := int64(1)
+	for i := 0; i < n; i++ {
+		p *= 10
+	}
+	return p
+}
+
+// formatDec renders value × 10⁻ˢᶜᵃˡᵉ as a minimal decimal string
+// ("0.25", "0.3" — trailing zeros trimmed, so the string matches what a
+// user would type at /cluster and shares its cache entry).
+func formatDec(v int64, scale int) string {
+	s := strconv.FormatInt(v, 10)
+	if scale == 0 {
+		return s
+	}
+	for len(s) <= scale {
+		s = "0" + s
+	}
+	whole, frac := s[:len(s)-scale], s[len(s)-scale:]
+	frac = strings.TrimRight(frac, "0")
+	if frac == "" {
+		return whole
+	}
+	return whole + "." + frac
+}
+
+// sweepIndex obtains the shared similarity artifact for one sweep and
+// whatever admission state protecting it: the attached index (slot when
+// available, degraded like /cluster when saturated), the coalescer's
+// current flight (the flight holds the slot), or a per-request build
+// under this request's own slot. release must be called exactly once
+// when err is nil; it is nil otherwise.
+func (s *Server) sweepIndex(ctx context.Context) (ix *ppscan.Index, release func(), err error) {
+	if s.ix != nil {
+		rel, ok := s.acquire()
+		if !ok {
+			s.reg.Counter(obsv.MetricAdmissionDegradedIndex).Inc()
+			rel = func() {}
+		}
+		return s.ix, rel, nil
+	}
+	if s.coalesce != nil {
+		f := s.coalesce.join()
+		leave := func() { s.coalesce.leave(f) }
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			leave()
+			return nil, nil, ctx.Err()
+		}
+		if f.err != nil {
+			leave()
+			return nil, nil, f.err
+		}
+		// Holding the flight open (leave deferred by the caller) is free:
+		// the group is closed to joiners once built, and leave after
+		// completion only decrements the counter.
+		return f.ix, leave, nil
+	}
+	rel, ok := s.acquire()
+	if !ok {
+		s.reg.Counter(obsv.MetricAdmissionRejected).Inc()
+		return nil, nil, errSaturated
+	}
+	s.sweepBuilds.Inc()
+	ix, err = ppscan.BuildIndexContext(ctx, s.g, s.workers)
+	if err != nil {
+		rel()
+		return nil, nil, err
+	}
+	return ix, rel, nil
+}
+
+// handleSweep streams one clusterSummary NDJSON line per ε step. The
+// response is chunked and flushed per step, so a client reads the first
+// clustering while later ones are still being extracted; client
+// disconnect or deadline expiry aborts between (and inside) steps, and
+// the single deferred workspace Release is the only return path — an
+// abandoned stream can neither leak the workspace nor release it twice.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	muStr := q.Get("mu")
+	mu, err := strconv.Atoi(muStr)
+	if muStr == "" || err != nil || mu < 1 || mu > 1<<30 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad or missing mu %q", muStr))
+		return
+	}
+	epsList, err := parseSweepEps(q.Get("eps"), s.sweepMaxSteps)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Validate every gridpoint up front: a bad ε must be a 400, not a
+	// mid-stream error line.
+	for _, eps := range epsList {
+		if _, err := simdef.NewThreshold(eps, int32(mu)); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	withMembers := q.Get("members") == "true"
+
+	ctx, cancel := s.computeCtx(r)
+	defer cancel()
+	t0 := time.Now()
+	ix, release, err := s.sweepIndex(ctx)
+	if err != nil {
+		s.writeResolveError(w, err)
+		return
+	}
+	defer release()
+
+	// One pooled workspace serves every step, grow-only across the grid.
+	ws := s.pool.Acquire(int(s.g.NumVertices()), int(s.g.NumEdges()))
+	defer s.pool.Release(ws)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	wrote := false
+	for _, eps := range epsList {
+		ts := time.Now()
+		res, err := ppscan.QueryIndexWorkspace(ctx, ix, eps, mu, ws)
+		if err != nil {
+			if ctx.Err() != nil {
+				s.sweepDisconnects.Inc()
+			}
+			if !wrote {
+				s.writeResolveError(w, err)
+			} else {
+				// Mid-stream there is no status left to send; emit a
+				// terminal error line and stop.
+				_ = enc.Encode(map[string]string{"error": err.Error()})
+			}
+			return
+		}
+		s.sweepStepNs.Observe(time.Since(ts).Nanoseconds())
+		s.sweepSteps.Inc()
+		// Echo the requested gridpoint string (like /cluster echoes its eps
+		// parameter), not the normalized rational the engine reports.
+		out := clusterSummary{
+			Eps:          eps,
+			Mu:           mu,
+			Algorithm:    res.Stats.Algorithm,
+			Clusters:     res.NumClusters(),
+			Cores:        res.NumCores(),
+			Memberships:  len(res.NonCore),
+			Coverage:     quality.Coverage(res),
+			RuntimeMs:    float64(res.Stats.Total) / float64(time.Millisecond),
+			CompSimCalls: res.Stats.CompSimCalls,
+		}
+		if withMembers {
+			out.Members = res.Clusters()
+		}
+		_ = enc.Encode(out)
+		wrote = true
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// A slow sweep is a tail-latency event like any other: retain it with
+	// the grid spec as the parameter signature.
+	d := time.Since(t0)
+	now := time.Now()
+	if s.exemplars.qualifies(d, now) {
+		s.exemplars.add(exemplar{
+			At: now, Eps: q.Get("eps"), Mu: mu, Algo: "sweep", Duration: d,
+		})
+	}
+}

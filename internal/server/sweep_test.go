@@ -1,0 +1,295 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ppscan"
+	"ppscan/internal/gen"
+	"ppscan/internal/obsv"
+)
+
+// sweepLines GETs an NDJSON sweep and decodes every line.
+func sweepLines(t *testing.T, ts *httptest.Server, path string) []map[string]any {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d, want 200", path, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("GET %s: Content-Type %q, want application/x-ndjson", path, ct)
+	}
+	var out []map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("GET %s: bad NDJSON line %q: %v", path, sc.Text(), err)
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSweepParseEps pins the exact-decimal grid expansion.
+func TestSweepParseEps(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want []string
+	}{
+		{"0.2:0.8:0.2", []string{"0.2", "0.4", "0.6", "0.8"}},
+		// Mixed scales rescale to the finest; endpoints inclusive.
+		{"0.2:0.3:0.05", []string{"0.2", "0.25", "0.3"}},
+		// Trailing zeros trimmed so gridpoints match hand-typed /cluster eps.
+		{"0.10:0.30:0.10", []string{"0.1", "0.2", "0.3"}},
+		{"1:1:1", []string{"1"}},
+		{"0.3,0.55,0.7", []string{"0.3", "0.55", "0.7"}},
+		{"0.65", []string{"0.65"}},
+	} {
+		got, err := parseSweepEps(tc.spec, 256)
+		if err != nil {
+			t.Errorf("%q: %v", tc.spec, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%q: got %v, want %v", tc.spec, got, tc.want)
+		}
+	}
+	for _, spec := range []string{
+		"",            // missing
+		"0.2:0.8",     // not three parts
+		"0.2:0.8:0",   // zero step
+		"0.8:0.2:0.1", // start > end
+		"0.2:0.8:x",   // non-decimal
+		"-0.2:0.8:0.1",
+		"0.0001:1:0.0001", // exceeds max steps
+	} {
+		if _, err := parseSweepEps(spec, 256); err == nil {
+			t.Errorf("%q: expected an error", spec)
+		}
+	}
+	if _, err := parseSweepEps("0.1,0.2,0.3", 2); err == nil || !strings.Contains(err.Error(), "bound") {
+		t.Errorf("comma list over max: got %v, want bound error", err)
+	}
+}
+
+// TestSweepMatchesCluster: every streamed step agrees with a direct
+// /cluster request at the same ε, and the whole sweep performed one
+// similarity pass (server.sweep.builds == 1 on the build-per-request
+// path).
+func TestSweepMatchesCluster(t *testing.T) {
+	g := gen.Roll(300, 8, 3)
+	srv := New(g, 2)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	lines := sweepLines(t, ts, "/cluster/sweep?eps=0.3:0.7:0.1&mu=3")
+	wantEps := []string{"0.3", "0.4", "0.5", "0.6", "0.7"}
+	if len(lines) != len(wantEps) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(wantEps))
+	}
+	for i, line := range lines {
+		if line["eps"] != wantEps[i] {
+			t.Errorf("line %d: eps %v, want %s", i, line["eps"], wantEps[i])
+		}
+		ref := get(t, ts, fmt.Sprintf("/cluster?eps=%s&mu=3", wantEps[i]), http.StatusOK)
+		for _, k := range []string{"clusters", "cores", "memberships", "coverage"} {
+			if line[k] != ref[k] {
+				t.Errorf("eps=%s: sweep %s = %v, /cluster says %v", wantEps[i], k, line[k], ref[k])
+			}
+		}
+	}
+	if v := srv.reg.Counter(obsv.MetricServerSweepBuilds).Value(); v != 1 {
+		t.Errorf("sweep.builds = %d, want 1 (one similarity pass for the whole grid)", v)
+	}
+	if v := srv.reg.Counter(obsv.MetricServerSweepSteps).Value(); v != int64(len(wantEps)) {
+		t.Errorf("sweep.steps = %d, want %d", v, len(wantEps))
+	}
+	if c := srv.reg.Histogram(obsv.MetricServerSweepStepNs).Count(); c != int64(len(wantEps)) {
+		t.Errorf("sweep.step_ns count = %d, want %d", c, len(wantEps))
+	}
+
+	// members=true attaches the cluster membership map per step.
+	lines = sweepLines(t, ts, "/cluster/sweep?eps=0.5&mu=2&members=true")
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1", len(lines))
+	}
+	if _, ok := lines[0]["members"]; !ok {
+		t.Errorf("members=true line lacks a members field: %v", lines[0])
+	}
+}
+
+// TestSweepBadParams: parameter errors are a 400 before any streaming.
+func TestSweepBadParams(t *testing.T) {
+	srv := New(testGraph(t), 1).WithSweepMaxSteps(4)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{
+		"/cluster/sweep?eps=0.3:0.7:0.1",          // missing mu
+		"/cluster/sweep?eps=0.3:0.7:0.1&mu=0",     // mu out of range
+		"/cluster/sweep?eps=0.3:0.7:0.1&mu=x",     // mu not a number
+		"/cluster/sweep?mu=2",                     // missing eps
+		"/cluster/sweep?eps=0.1:0.9:0.1&mu=2",     // 9 steps > max 4
+		"/cluster/sweep?eps=0:1:0.5&mu=2",         // gridpoint 0 outside (0, 1]
+		"/cluster/sweep?eps=0.2:0.8&mu=2",         // malformed range
+		"/cluster/sweep?eps=0.3,1.5&mu=2",         // list value outside (0, 1]
+	} {
+		body := get(t, ts, path, http.StatusBadRequest)
+		if body["error"] == "" {
+			t.Errorf("%s: 400 body lacks error text", path)
+		}
+	}
+	if v := srv.reg.Counter(obsv.MetricServerSweepBuilds).Value(); v != 0 {
+		t.Errorf("sweep.builds = %d after rejected requests, want 0", v)
+	}
+}
+
+// TestSweepWithIndex: an attached GS*-Index serves the sweep with zero
+// per-request builds.
+func TestSweepWithIndex(t *testing.T) {
+	g := gen.Roll(300, 8, 3)
+	ix := ppscan.BuildIndex(g, 2)
+	srv := New(g, 2).WithIndex(ix)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	lines := sweepLines(t, ts, "/cluster/sweep?eps=0.3:0.6:0.1&mu=3")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	for _, line := range lines {
+		ref := get(t, ts, fmt.Sprintf("/cluster?eps=%s&mu=3", line["eps"]), http.StatusOK)
+		if line["clusters"] != ref["clusters"] || line["cores"] != ref["cores"] {
+			t.Errorf("eps=%v: sweep (%v clusters, %v cores) != /cluster (%v, %v)",
+				line["eps"], line["clusters"], line["cores"], ref["clusters"], ref["cores"])
+		}
+	}
+	if v := srv.reg.Counter(obsv.MetricServerSweepBuilds).Value(); v != 0 {
+		t.Errorf("sweep.builds = %d with an attached index, want 0", v)
+	}
+}
+
+// TestSweepCoalesced: with coalescing on, a sweep draws its similarity
+// artifact from the shared flight instead of building privately — and a
+// concurrent /cluster request rides the same flight.
+func TestSweepCoalesced(t *testing.T) {
+	g := gen.Roll(300, 8, 3)
+	srv := New(g, 2).WithCoalescing(300 * time.Millisecond)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	type res struct {
+		lines []map[string]any
+		body  map[string]any
+	}
+	done := make(chan res, 2)
+	go func() {
+		done <- res{lines: sweepLines(t, ts, "/cluster/sweep?eps=0.3:0.6:0.1&mu=3")}
+	}()
+	go func() {
+		done <- res{body: get(t, ts, "/cluster?eps=0.45&mu=3", http.StatusOK)}
+	}()
+	var got res
+	for i := 0; i < 2; i++ {
+		r := <-done
+		if r.lines != nil {
+			got.lines = r.lines
+		} else {
+			got.body = r.body
+		}
+	}
+	if len(got.lines) != 4 {
+		t.Fatalf("sweep: got %d lines, want 4", len(got.lines))
+	}
+	if got.body["algorithm"] != "GS*-Index" {
+		t.Errorf("coalesced /cluster algorithm = %v, want GS*-Index", got.body["algorithm"])
+	}
+	if v := srv.reg.Counter(obsv.MetricServerCoalesceFlights).Value(); v != 1 {
+		t.Errorf("coalesce.flights = %d, want 1 (sweep and /cluster shared one pass)", v)
+	}
+	if v := srv.reg.Counter(obsv.MetricServerSweepBuilds).Value(); v != 0 {
+		t.Errorf("sweep.builds = %d with coalescing, want 0 (the flight built it)", v)
+	}
+}
+
+// TestSweepDisconnectReleasesWorkspaceOnce: a client abandoning the
+// stream mid-sweep must release the pooled workspace exactly once — no
+// leak (Retained would stay 0), no double release (Retained would reach
+// 2, or Discards would advance).
+func TestSweepDisconnectReleasesWorkspaceOnce(t *testing.T) {
+	g := gen.Roll(20000, 24, 3)
+	srv := New(g, 2).WithSweepMaxSteps(400)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Warm sweep: seeds the pool with exactly one workspace (miss + release).
+	if n := len(sweepLines(t, ts, "/cluster/sweep?eps=0.5&mu=3")); n != 1 {
+		t.Fatalf("warm sweep: %d lines, want 1", n)
+	}
+
+	// Disconnected sweep: read ONE line of a ~280-step grid, then hang up.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		ts.URL+"/cluster/sweep?eps=0.2:0.76:0.002&mu=3", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		t.Fatalf("no first line before disconnect: %v", sc.Err())
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The handler observes the disconnect asynchronously; wait for the
+	// workspace to come home.
+	deadline := time.Now().Add(10 * time.Second)
+	var st ppscan.WorkspacePoolStats
+	for {
+		st = srv.pool.Stats()
+		if st.Hits+st.Misses >= 2 && st.Retained == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workspace never returned to the pool: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.Hits+st.Misses != 2 {
+		t.Errorf("pool acquires = %d (hits %d + misses %d), want 2", st.Hits+st.Misses, st.Hits, st.Misses)
+	}
+	if st.Retained != 1 {
+		t.Errorf("pool retained = %d, want exactly 1 (double release would retain 2)", st.Retained)
+	}
+	if st.Discards != 0 {
+		t.Errorf("pool discards = %d, want 0", st.Discards)
+	}
+	if v := srv.reg.Counter(obsv.MetricServerSweepDisconnects).Value(); v != 1 {
+		t.Errorf("sweep.disconnects = %d, want 1", v)
+	}
+	if v := srv.reg.Counter(obsv.MetricServerSweepSteps).Value(); v >= 281 {
+		t.Errorf("sweep.steps = %d; the disconnected sweep appears to have run to completion", v)
+	}
+}

@@ -309,6 +309,29 @@ func BuildIndexContext(ctx context.Context, g *graph.Graph, workers int) (*Index
 	return gsindex.BuildContext(ctx, g, gsindex.BuildOptions{Workers: workers})
 }
 
+// QueryIndexWorkspace answers one (ε, µ) clustering query from a built
+// index, drawing every scratch buffer from ws — the similarity-reuse entry
+// point behind the server's request coalescing and GET /cluster/sweep:
+// similarities are computed once (the index build) and each parameterization
+// is then extracted in O(answer) time with zero steady-state allocations.
+//
+// Aliasing rule: the returned Result aliases workspace memory and is valid
+// only until the next use of ws; call Result.Clone to retain it longer. ctx
+// cancels a long extraction between vertex strides. A nil ws allocates
+// transient scratch.
+func QueryIndexWorkspace(ctx context.Context, ix *Index, eps string, mu int, ws *Workspace) (*Result, error) {
+	if ix == nil {
+		return nil, fmt.Errorf("ppscan: nil index")
+	}
+	if mu < 1 {
+		return nil, fmt.Errorf("ppscan: Mu = %d, want >= 1", mu)
+	}
+	if mu > 1<<30 {
+		return nil, fmt.Errorf("ppscan: Mu = %d too large", mu)
+	}
+	return ix.QueryWorkspace(ctx, eps, int32(mu), ws)
+}
+
 // SaveIndex serializes an index's payload; load it back with LoadIndex and
 // the same graph.
 func SaveIndex(w io.Writer, ix *Index) error {
