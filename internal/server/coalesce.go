@@ -124,10 +124,18 @@ func (c *coalescer) run(f *flight, fctx context.Context) {
 	// One admission slot covers the shared pass, however many waiters fan
 	// out from it — that is the throughput lever. Unlike per-request
 	// admission this acquire blocks: queueing one flight queues the whole
-	// batch, and each waiter's own deadline still bounds its wait.
+	// batch. Each waiter's own deadline bounds its wait, and the server's
+	// sharedAcquireMax bounds the queue itself (errSaturated fans out as
+	// 429 to every waiter) when no deadlines are configured.
 	release, err := c.s.acquireShared(fctx)
 	if err != nil {
-		c.cancels.Inc() // only the group context can fail the acquire
+		if fctx.Err() != nil {
+			// Every waiter left while the flight queued for its slot.
+			c.cancels.Inc()
+		} else {
+			// The queue cap expired: the flight is shed as saturation.
+			c.s.reg.Counter(obsv.MetricAdmissionRejected).Inc()
+		}
 		c.finish(f, nil, err)
 		return
 	}

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -192,6 +193,44 @@ func TestCoalesceLastWaiterCancelsSharedPass(t *testing.T) {
 			t.Fatal("coalesce.cancels never incremented after the last waiter left")
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCoalesceAcquireBounded: with every admission slot held and no
+// request deadlines configured, a flight's queue wait is bounded by
+// sharedAcquireMax — every waiter gets the saturation error instead of
+// queueing forever behind the open flight.
+func TestCoalesceAcquireBounded(t *testing.T) {
+	srv := New(gen.Roll(300, 8, 3), 2).
+		WithAdmission(1, 0).
+		WithCoalescing(10 * time.Millisecond)
+	srv.sharedAcquireMax = 50 * time.Millisecond
+
+	// Occupy the only slot for the whole test.
+	release, ok := srv.acquire()
+	if !ok {
+		t.Fatal("could not take the only admission slot")
+	}
+	defer release()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.resolve(context.Background(), "0.5", 3, ppscan.AlgoPPSCAN)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errSaturated) {
+			t.Fatalf("err = %v, want errSaturated", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("coalesced waiter still queued after 5s; sharedAcquireMax did not bound the wait")
+	}
+	if v := srv.reg.Counter(obsv.MetricAdmissionRejected).Value(); v != 1 {
+		t.Errorf("admission.rejected = %d, want 1", v)
+	}
+	if v := srv.reg.Counter(obsv.MetricServerCoalesceCancels).Value(); v != 0 {
+		t.Errorf("coalesce.cancels = %d, want 0 (saturation is not a cancellation)", v)
 	}
 }
 

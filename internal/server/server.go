@@ -78,10 +78,13 @@ type Server struct {
 	// Admission control (see WithAdmission). sem is nil when in-flight
 	// computations are unbounded; reqTimeout is zero when requests have no
 	// deadline. draining flips when the process received SIGTERM and is
-	// refusing new work while in-flight requests finish.
-	sem        chan struct{}
-	reqTimeout time.Duration
-	draining   atomic.Bool
+	// refusing new work while in-flight requests finish. sharedAcquireMax
+	// caps how long a coalesced flight may queue for a slot
+	// (defaultSharedAcquireMax; shortened by tests).
+	sem              chan struct{}
+	reqTimeout       time.Duration
+	sharedAcquireMax time.Duration
+	draining         atomic.Bool
 
 	// watchdog is the per-phase stall timeout threaded into direct
 	// computations (see WithWatchdog); zero disables.
@@ -133,12 +136,13 @@ type cacheKey struct {
 // New creates a server that runs the selected algorithm per request.
 func New(g *graph.Graph, workers int) *Server {
 	s := &Server{
-		g:       g,
-		workers: workers,
-		reg:     obsv.New(),
-		start:   time.Now(),
-		pool:    ppscan.NewWorkspacePool(0),
-		cache:   newLRU(DefaultCacheSize),
+		g:                g,
+		workers:          workers,
+		reg:              obsv.New(),
+		start:            time.Now(),
+		pool:             ppscan.NewWorkspacePool(0),
+		cache:            newLRU(DefaultCacheSize),
+		sharedAcquireMax: defaultSharedAcquireMax,
 	}
 	s.runFn = func(ctx context.Context, opt ppscan.Options, ws *ppscan.Workspace) (*ppscan.Result, error) {
 		return ppscan.RunWorkspace(ctx, s.g, opt, ws)
@@ -256,6 +260,13 @@ func (s *Server) WithWatchdog(d time.Duration) *Server {
 // when an index is attached (WithIndex already shares similarities).
 // holdoff < 0 is clamped to 0 — no pile-on window, but requests still
 // join a flight already in progress.
+//
+// Admission interaction: unlike per-request admission, which fails fast,
+// a flight QUEUES for its slot on behalf of the whole batch. The wait is
+// bounded by each waiter's own deadline (WithAdmission requestTimeout)
+// and, independently, by a fixed cap (defaultSharedAcquireMax) — so with
+// no deadlines configured, sustained saturation still sheds coalesced
+// load as 429s instead of accumulating queued flights without bound.
 func (s *Server) WithCoalescing(holdoff time.Duration) *Server {
 	if holdoff < 0 {
 		holdoff = 0
@@ -542,19 +553,34 @@ func (s *Server) acquire() (release func(), ok bool) {
 	}
 }
 
+// defaultSharedAcquireMax bounds how long a coalesced flight may queue
+// for an admission slot. Per-request admission never blocks (fail-fast
+// 429/degrade), but a flight queues on behalf of its whole batch; without
+// a cap, a saturated server with no -request-timeout configured would
+// accumulate queued flights — and their waiters — without bound instead
+// of shedding load.
+const defaultSharedAcquireMax = 30 * time.Second
+
 // acquireShared takes an admission slot for a shared (coalesced)
-// computation, blocking until one frees up or ctx — the flight's group
-// context — is cancelled. Per-request admission never queues; a flight
-// may, because it holds the slot on behalf of its whole batch and every
-// waiter's own deadline still bounds the wait.
+// computation, blocking until one frees up, ctx — the flight's group
+// context — is cancelled, or sharedAcquireMax elapses (errSaturated,
+// which writeResolveError fans out as 429 + Retry-After to every
+// waiter). Per-request admission never queues; a flight may, because it
+// holds the slot on behalf of its whole batch — every waiter's own
+// deadline still bounds its wait, and the cap bounds the queue even when
+// no deadlines are configured.
 func (s *Server) acquireShared(ctx context.Context) (release func(), err error) {
 	if s.sem == nil {
 		return func() {}, nil
 	}
+	t := time.NewTimer(s.sharedAcquireMax)
+	defer t.Stop()
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
 		return nil, ctx.Err()
+	case <-t.C:
+		return nil, errSaturated
 	}
 	g := s.reg.Gauge(obsv.MetricAdmissionInFlight)
 	g.Add(1)

@@ -61,6 +61,14 @@ func parseSweepEps(spec string, max int) ([]string, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad eps range step %q: %w", parts[2], err)
 		}
+		// ε is a similarity threshold in [0, 1], so reject larger operands
+		// BEFORE rescaling: every gridpoint of such a range would fail
+		// threshold validation anyway, and the bound guarantees each
+		// rescaled operand stays ≤ 10^scale ≤ 10^15, so none of the integer
+		// arithmetic below can overflow int64.
+		if a > pow10(as) || b > pow10(bs) || st > pow10(ss) {
+			return nil, fmt.Errorf("bad eps range %q: start, end and step must lie in [0, 1]", spec)
+		}
 		// Rescale all three to the finest scale so the grid walk is exact
 		// integer arithmetic.
 		scale := as
@@ -84,8 +92,11 @@ func parseSweepEps(spec string, max int) ([]string, error) {
 			return nil, fmt.Errorf("eps range %q has %d steps, exceeding the per-request bound %d (-sweep-max-steps)", spec, steps, max)
 		}
 		out := make([]string, 0, steps)
-		for v := a; v <= b; v += st {
-			out = append(out, formatDec(v, scale))
+		// Walk by index, not by accumulating a value: the iteration count is
+		// then exactly the validated steps, so the loop is bounded even for
+		// operands an accumulating `v += st` could overflow past b on.
+		for i := int64(0); i < steps; i++ {
+			out = append(out, formatDec(a+i*st, scale))
 		}
 		return out, nil
 	}
@@ -124,7 +135,8 @@ func pow10(n int) int64 {
 
 // formatDec renders value × 10⁻ˢᶜᵃˡᵉ as a minimal decimal string
 // ("0.25", "0.3" — trailing zeros trimmed, so the string matches what a
-// user would type at /cluster and shares its cache entry).
+// user would type at /cluster and the response-cache keys agree; see
+// handleSweep for the actual cache wiring).
 func formatDec(v int64, scale int) string {
 	s := strconv.FormatInt(v, 10)
 	if scale == 0 {
@@ -236,22 +248,43 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	wrote := false
 	for _, eps := range epsList {
-		ts := time.Now()
-		res, err := ppscan.QueryIndexWorkspace(ctx, ix, eps, mu, ws)
-		if err != nil {
-			if ctx.Err() != nil {
-				s.sweepDisconnects.Inc()
+		// Each gridpoint is served through the shared response cache under
+		// the index-keyed entry /cluster uses for index-derived answers
+		// (resolve sets algo="index" whenever an index or coalescer is
+		// configured): a sweep hits entries earlier requests left behind
+		// and warms the cache for the drill-down /cluster queries that
+		// typically follow a sweep.
+		key := cacheKey{eps: eps, mu: mu, algo: "index"}
+		s.mu.Lock()
+		res, hit := s.cache.get(key)
+		s.mu.Unlock()
+		if hit {
+			s.reg.Counter(obsv.MetricCacheHits).Inc()
+		} else {
+			s.reg.Counter(obsv.MetricCacheMisses).Inc()
+			ts := time.Now()
+			r, err := ppscan.QueryIndexWorkspace(ctx, ix, eps, mu, ws)
+			if err != nil {
+				if ctx.Err() != nil {
+					s.sweepDisconnects.Inc()
+				}
+				if !wrote {
+					s.writeResolveError(w, err)
+				} else {
+					// Mid-stream there is no status left to send; emit a
+					// terminal error line and stop.
+					_ = enc.Encode(map[string]string{"error": err.Error()})
+				}
+				return
 			}
-			if !wrote {
-				s.writeResolveError(w, err)
-			} else {
-				// Mid-stream there is no status left to send; emit a
-				// terminal error line and stop.
-				_ = enc.Encode(map[string]string{"error": err.Error()})
-			}
-			return
+			s.sweepStepNs.Observe(time.Since(ts).Nanoseconds())
+			// The extraction aliases ws buffers the next step (and the next
+			// request) will reuse: detach it before the cache retains it.
+			res = r.Clone()
+			s.mu.Lock()
+			s.cache.add(key, res)
+			s.mu.Unlock()
 		}
-		s.sweepStepNs.Observe(time.Since(ts).Nanoseconds())
 		s.sweepSteps.Inc()
 		// Echo the requested gridpoint string (like /cluster echoes its eps
 		// parameter), not the normalized rational the engine reports.

@@ -79,6 +79,12 @@ func TestSweepParseEps(t *testing.T) {
 		"0.2:0.8:x",   // non-decimal
 		"-0.2:0.8:0.1",
 		"0.0001:1:0.0001", // exceeds max steps
+		"2:8:1",           // operands outside [0, 1]
+		"0.2:0.8:999999999999999", // step outside [0, 1]
+		// 15-digit operands that, rescaled by the fractional step's 10^4,
+		// used to overflow int64 and walk a wrapped-negative grid for ~10^15
+		// iterations; must be a fast 400, not a hang.
+		"922337203685222:922337203685477:1.0000",
 	} {
 		if _, err := parseSweepEps(spec, 256); err == nil {
 			t.Errorf("%q: expected an error", spec)
@@ -183,6 +189,38 @@ func TestSweepWithIndex(t *testing.T) {
 	}
 	if v := srv.reg.Counter(obsv.MetricServerSweepBuilds).Value(); v != 0 {
 		t.Errorf("sweep.builds = %d with an attached index, want 0", v)
+	}
+}
+
+// TestSweepSharesClusterCache: sweep gridpoints are served through the
+// shared response cache. On an index-backed server, a drill-down /cluster
+// request at a swept ε hits the entry the sweep left behind, and
+// repeating a sweep extracts nothing new.
+func TestSweepSharesClusterCache(t *testing.T) {
+	g := gen.Roll(300, 8, 3)
+	ix := ppscan.BuildIndex(g, 2)
+	srv := New(g, 2).WithIndex(ix)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if n := len(sweepLines(t, ts, "/cluster/sweep?eps=0.3:0.5:0.1&mu=3")); n != 3 {
+		t.Fatalf("got %d lines, want 3", n)
+	}
+	if v := srv.reg.Counter(obsv.MetricCacheMisses).Value(); v != 3 {
+		t.Errorf("cache.misses after first sweep = %d, want 3", v)
+	}
+	get(t, ts, "/cluster?eps=0.4&mu=3", http.StatusOK)
+	if v := srv.reg.Counter(obsv.MetricCacheHits).Value(); v != 1 {
+		t.Errorf("cache.hits after /cluster drill-down = %d, want 1 (sweep should have warmed the entry)", v)
+	}
+	if n := len(sweepLines(t, ts, "/cluster/sweep?eps=0.3:0.5:0.1&mu=3")); n != 3 {
+		t.Fatalf("repeat sweep: got %d lines, want 3", n)
+	}
+	if v := srv.reg.Counter(obsv.MetricCacheHits).Value(); v != 4 {
+		t.Errorf("cache.hits after repeated sweep = %d, want 4", v)
+	}
+	if c := srv.reg.Histogram(obsv.MetricServerSweepStepNs).Count(); c != 3 {
+		t.Errorf("sweep.step_ns count = %d, want 3 (the repeat sweep should extract nothing)", c)
 	}
 }
 
