@@ -6,11 +6,22 @@
 //	graphgen -kind roll -n 100000 -deg 40 -seed 7 -o roll.bin
 //	graphgen -kind er -n 10000 -m 50000 -o er.txt
 //	graphgen -dataset twitter-sim -scale 0.5 -o twitter.bin
+//	graphgen -kind roll -n 10000 -deg 16 -o roll.bin -mutations 500 -mutations-out churn.ndjson
+//
+// With -mutations N, graphgen additionally emits N deterministic edge-churn
+// operations as NDJSON — the wire format POST /edges accepts (scanserver
+// -mutations) — derived from the generated graph with -mutation-seed:
+// deletions pick existing edges, insertions pick currently-absent pairs,
+// so a fresh server loaded with the graph accepts the whole stream as
+// effective churn.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
 	"os"
 
 	"ppscan/graph"
@@ -35,6 +46,11 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random seed")
 		out    = flag.String("o", "", "output path (.txt or .bin); required")
 		statsF = flag.Bool("stats", true, "print the generated graph's statistics")
+
+		mutations  = flag.Int("mutations", 0, "additionally emit this many deterministic edge-churn operations as NDJSON (the POST /edges wire format); 0 = none")
+		mutSeed    = flag.Int64("mutation-seed", 1, "random seed for the -mutations churn stream")
+		mutOut     = flag.String("mutations-out", "-", "churn output path for -mutations (\"-\" = stdout)")
+		mutDelFrac = flag.Float64("mutation-del-frac", 0.5, "fraction of -mutations operations that are deletions of existing edges (the rest insert absent pairs)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -71,6 +87,61 @@ func main() {
 	if *statsF {
 		fmt.Println(graph.ComputeStats(*out, g))
 	}
+	if *mutations > 0 {
+		w := io.Writer(os.Stdout)
+		if *mutOut != "-" {
+			f, err := os.Create(*mutOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := emitChurn(w, g, *mutations, *mutSeed, *mutDelFrac); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// emitChurn writes n NDJSON edge operations derived deterministically from
+// g and seed. Deletions sample existing edges (random vertex, random
+// neighbor); insertions sample absent pairs by rejection. The stream is
+// generated against the STATIC graph g, so ops can collide (a deleted edge
+// re-deleted later); the server's batch normalization makes those no-ops,
+// which is itself realistic churn.
+func emitChurn(w io.Writer, g *graph.Graph, n int, seed int64, delFrac float64) error {
+	nv := g.NumVertices()
+	if nv < 2 {
+		return fmt.Errorf("-mutations needs a graph with at least 2 vertices")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bw := bufio.NewWriter(w)
+	for i := 0; i < n; i++ {
+		if g.NumEdges() > 0 && rng.Float64() < delFrac {
+			// Delete: random non-isolated vertex, random neighbor.
+			for {
+				u := int32(rng.Intn(int(nv)))
+				nbrs := g.Neighbors(u)
+				if len(nbrs) == 0 {
+					continue
+				}
+				v := nbrs[rng.Intn(len(nbrs))]
+				fmt.Fprintf(bw, "{\"u\":%d,\"v\":%d,\"op\":\"del\"}\n", u, v)
+				break
+			}
+			continue
+		}
+		// Insert: rejection-sample a currently-absent pair.
+		for {
+			u, v := int32(rng.Intn(int(nv))), int32(rng.Intn(int(nv)))
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			fmt.Fprintf(bw, "{\"u\":%d,\"v\":%d,\"op\":\"add\"}\n", u, v)
+			break
+		}
+	}
+	return bw.Flush()
 }
 
 func fatal(err error) {

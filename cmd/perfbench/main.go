@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -204,6 +205,9 @@ func runSuite(cfg config, w io.Writer) (*perfgate.Report, []obsv.TraceEvent, err
 	}
 	benchKernels(cfg, cur, kernelIters)
 	if err := benchServer(cfg, g, cur); err != nil {
+		return nil, nil, err
+	}
+	if err := benchMutations(cfg, g, cur); err != nil {
 		return nil, nil, err
 	}
 	return cur, slowTrace, nil
@@ -421,6 +425,70 @@ func benchSweep(cfg config, g *graph.Graph, cur *perfgate.Report) error {
 	}
 	cur.Add("index.query_warm_ns", perfgate.Median(qsamples), "ns", perfgate.Lower, 0.4, 0)
 	return nil
+}
+
+// benchMutations measures the dynamic-graph pipeline: the copy-on-write
+// snapshot commit of a 1%-churn batch (graph.commit_ns) and the
+// incremental GS*-Index maintenance over that commit (index.update_ns).
+// Each sample starts from the same epoch-0 snapshot with a differently
+// seeded batch, so the measured work is one commit + one ApplyBatch of
+// constant churn fraction, never a growing chain.
+func benchMutations(cfg config, g *graph.Graph, cur *perfgate.Report) error {
+	ix := ppscan.BuildIndex(g, 0)
+	churn := int(g.NumEdges() / 100)
+	if churn < 8 {
+		churn = 8
+	}
+	ws := ppscan.NewWorkspace()
+	defer ws.Close()
+	commitSamples := make([]float64, 0, cfg.runs)
+	updateSamples := make([]float64, 0, cfg.runs)
+	for r := 0; r < cfg.runs; r++ {
+		batch := churnBatch(g, churn, int64(100+r))
+		store := ppscan.NewStore(g)
+		t0 := time.Now()
+		d, err := store.Commit(batch)
+		if err != nil {
+			return fmt.Errorf("mutation commit: %w", err)
+		}
+		commitSamples = append(commitSamples, float64(time.Since(t0).Nanoseconds()))
+		if d.Empty() {
+			return fmt.Errorf("mutation batch (seed %d) was a no-op", 100+r)
+		}
+		t0 = time.Now()
+		if _, err := ppscan.ApplyIndexBatch(context.Background(), ix, d, 0, ws); err != nil {
+			return fmt.Errorf("incremental index update: %w", err)
+		}
+		updateSamples = append(updateSamples, float64(time.Since(t0).Nanoseconds()))
+	}
+	cur.Add("graph.commit_ns", perfgate.Median(commitSamples), "ns", perfgate.Lower, 0.5, 0)
+	cur.Add("index.update_ns", perfgate.Median(updateSamples), "ns", perfgate.Lower, 0.5, 0)
+	return nil
+}
+
+// churnBatch builds a deterministic ~1%-churn mutation batch against g:
+// half deletions of existing edges, half insertions of absent pairs.
+func churnBatch(g *graph.Graph, n int, seed int64) []ppscan.EdgeOp {
+	rng := rand.New(rand.NewSource(seed))
+	nv := int(g.NumVertices())
+	ops := make([]ppscan.EdgeOp, 0, n)
+	for len(ops) < n {
+		u := int32(rng.Intn(nv))
+		if len(ops)%2 == 0 {
+			nbrs := g.Neighbors(u)
+			if len(nbrs) == 0 {
+				continue
+			}
+			ops = append(ops, ppscan.EdgeOp{U: u, V: nbrs[rng.Intn(len(nbrs))], Del: true})
+			continue
+		}
+		v := int32(rng.Intn(nv))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		ops = append(ops, ppscan.EdgeOp{U: u, V: v})
+	}
+	return ops
 }
 
 func writeTrace(path string, events []obsv.TraceEvent) error {

@@ -8,7 +8,10 @@
 //
 // Endpoints: /healthz, /cluster?eps=&mu=[&algo=&members=true],
 // /cluster/sweep?eps=start:end:step&mu= (one similarity pass, one NDJSON
-// line per eps step), /vertex?v=&eps=&mu=, /quality?eps=&mu=, /metrics,
+// line per eps step), POST /edges (with -mutations: batched NDJSON edge
+// insertions/deletions committed as a new graph epoch, the GS*-Index
+// maintained incrementally), /vertex?v=&eps=&mu=, /quality?eps=&mu=,
+// /metrics,
 // and /debug/slowest — the tail-latency exemplars: the -exemplars slowest
 // computations of the last 15 minutes, each with its per-phase breakdown
 // and a Chrome trace of the actual run (load in chrome://tracing or
@@ -71,6 +74,7 @@ func main() {
 		pprofOn   = flag.Bool("pprof", false, "expose the Go profiling endpoints under /debug/pprof/")
 		logReqs   = flag.Bool("log-requests", false, "log one structured line per HTTP request")
 
+		mutations   = flag.Bool("mutations", false, "enable POST /edges: batched NDJSON edge mutations commit new graph epochs; with -index the GS*-Index is maintained incrementally across commits")
 		coalesceWin = flag.Duration("coalesce-window", 0, "merge concurrent clustering requests into single-flight similarity passes, holding the first request up to this long so others pile on (0 = coalescing off; ignored with -index)")
 		sweepSteps  = flag.Int("sweep-max-steps", server.DefaultSweepMaxSteps, "max eps steps one /cluster/sweep request may stream")
 
@@ -145,6 +149,12 @@ func main() {
 			log.Fatal("scanserver: ", err)
 		}
 		srv = srv.WithIndex(ix)
+	}
+	if *mutations {
+		// After WithIndex: the mutation path then maintains the index
+		// incrementally instead of serving an index-less epoch 1.
+		srv = srv.WithMutations()
+		log.Printf("mutations enabled: POST /edges commits batched edge churn into new epochs")
 	}
 	handler := srv.Handler()
 	if *pprofOn {

@@ -33,7 +33,17 @@ type Graph struct {
 	Off []int64
 	// Dst is the concatenated, per-vertex-sorted adjacency array.
 	Dst []int32
+	// epoch is the snapshot version when the graph was produced by a
+	// Store.Commit; graphs built any other way are epoch 0. The epoch does
+	// not participate in structural equality — it identifies which version
+	// of a mutating Store this snapshot captured.
+	epoch uint64
 }
+
+// Epoch returns the snapshot version this graph captured: 0 for graphs
+// built directly (FromEdges, readers), the committing Store's version for
+// snapshots produced by Store.Commit.
+func (g *Graph) Epoch() uint64 { return g.epoch }
 
 // NumVertices returns |V|.
 func (g *Graph) NumVertices() int32 {
@@ -263,7 +273,7 @@ func (g *Graph) Clone() *Graph {
 	copy(off, g.Off)
 	dst := make([]int32, len(g.Dst))
 	copy(dst, g.Dst)
-	return &Graph{Off: off, Dst: dst}
+	return &Graph{Off: off, Dst: dst, epoch: g.epoch}
 }
 
 // InducedSubgraph returns the subgraph induced by the given vertex set,

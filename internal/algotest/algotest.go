@@ -118,13 +118,69 @@ func CheckGroundTruth(g *graph.Graph, r *result.Result, th simdef.Threshold) err
 // Callers must link the engine implementations (blank-import them); this
 // package cannot, because the implementations' own tests import it.
 func CheckEngines(t *testing.T) {
+	CheckEnginesOn(t, Corpus())
+}
+
+// MutatedCorpus returns the standard corpus pushed through one epoch of
+// deterministic edge churn: each graph becomes the snapshot a graph.Store
+// commit produces from it, mixing insertions of absent pairs with
+// deletions of existing edges (~10% of the edge count, at least 4 ops).
+// Running the cross-engine suite over these snapshots proves mutation
+// results are first-class graphs — clustering a committed snapshot is
+// indistinguishable from clustering the same topology loaded from disk.
+func MutatedCorpus() []Case {
+	var out []Case
+	for i, c := range Corpus() {
+		if c.G.NumVertices() < 2 {
+			continue
+		}
+		store := graph.NewStore(c.G)
+		d, err := store.Commit(churnOps(c.G, int64(37+i)))
+		if err != nil {
+			panic(fmt.Sprintf("churn commit on %s: %v", c.Name, err))
+		}
+		if d.Empty() {
+			continue
+		}
+		out = append(out, Case{Name: c.Name + "+churn", G: d.New})
+	}
+	return out
+}
+
+// churnOps builds a deterministic mutation batch for g: deletions of
+// existing edges and insertions of absent pairs, including duplicate ops
+// (the normalization path) when the rng repeats a pair.
+func churnOps(g *graph.Graph, seed int64) []graph.EdgeOp {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(g.NumEdges()) / 10
+	if n < 4 {
+		n = 4
+	}
+	nv := int(g.NumVertices())
+	ops := make([]graph.EdgeOp, 0, n)
+	for tries := 0; len(ops) < n && tries < 50*n; tries++ {
+		u, v := int32(rng.Intn(nv)), int32(rng.Intn(nv))
+		if u == v {
+			continue
+		}
+		// Delete existing edges, insert absent pairs: every op is effective
+		// unless the batch itself repeats a pair — which the store's
+		// last-op-wins normalization then resolves.
+		ops = append(ops, graph.EdgeOp{U: u, V: v, Del: g.HasEdge(u, v)})
+	}
+	return ops
+}
+
+// CheckEnginesOn is CheckEngines over an explicit case list (e.g.
+// MutatedCorpus for post-mutation snapshots).
+func CheckEnginesOn(t *testing.T, cases []Case) {
 	engines := engine.All()
 	if len(engines) < 2 {
 		t.Fatalf("engine registry has %d backends, want >= 2 (did the caller blank-import the implementations?)", len(engines))
 	}
 	ws := engine.NewWorkspace()
 	t.Cleanup(ws.Close)
-	for _, c := range Corpus() {
+	for _, c := range cases {
 		c := c
 		t.Run(c.Name, func(t *testing.T) {
 			for _, th := range Params() {

@@ -60,6 +60,14 @@ func TestEnginesEquivalent(t *testing.T) {
 	algotest.CheckEngines(t)
 }
 
+// TestEnginesEquivalentPostMutation re-runs the cross-engine suite over
+// the corpus after one epoch of graph.Store edge churn: a committed
+// snapshot must cluster exactly like the same topology built from
+// scratch, for every engine and every parameter combination.
+func TestEnginesEquivalentPostMutation(t *testing.T) {
+	algotest.CheckEnginesOn(t, algotest.MutatedCorpus())
+}
+
 // graphFor builds the deterministic test graph for a size label.
 func graphFor(name string) *graph.Graph {
 	switch name {

@@ -40,6 +40,12 @@ const (
 	// GraphLoad fires once per binary-graph load, modelling corrupt or
 	// partially-written input files.
 	GraphLoad
+	// EdgeBatchApply fires once per POST /edges mutation batch, before the
+	// snapshot commit and index maintenance. Error actions surface as a
+	// 503 with no state change, panic actions test the handler containment
+	// (the commit is two-phase, so a panic can never publish a torn
+	// snapshot), and delay actions model slow mutation batches.
+	EdgeBatchApply
 	// NumPoints bounds the Point space (array sizing).
 	NumPoints
 )
@@ -48,6 +54,7 @@ var pointNames = [NumPoints]string{
 	WorkerTask:     "worker_task",
 	SuperstepStart: "superstep_start",
 	GraphLoad:      "graph_load",
+	EdgeBatchApply: "edge_batch_apply",
 }
 
 // String returns the point's stable name (used in errors and logs).

@@ -34,7 +34,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sort"
 	"time"
 
 	"ppscan/graph"
@@ -121,31 +120,14 @@ func BuildContext(ctx context.Context, g *graph.Graph, opt BuildOptions) (*Index
 		return nil, fmt.Errorf("gsindex: build aborted during intersection pass after %v: %w", time.Since(start), err)
 	}
 	// Phase 2: neighbor orders, sorted by exactly-compared similarity.
+	// sortRun (apply.go) is the same routine ApplyBatch uses for repaired
+	// runs — sharing it is what makes incremental maintenance bit-identical.
 	err = sched.ForEachVertexCtx(ctx,
 		sched.Options{Workers: opt.Workers, DegreeThreshold: opt.DegreeThreshold},
 		n,
 		func(int32) bool { return true },
 		g.Degree,
-		func(u int32, worker int) {
-			uOff := g.Off[u]
-			deg := int64(g.Degree(u))
-			ord := ix.order[uOff : uOff+deg]
-			for i := range ord {
-				ord[i] = int32(i)
-			}
-			nbrs := g.Neighbors(u)
-			du1 := uint64(g.Degree(u)) + 1
-			sort.Slice(ord, func(a, b int) bool {
-				va, vb := nbrs[ord[a]], nbrs[ord[b]]
-				pa := du1 * (uint64(g.Degree(va)) + 1)
-				pb := du1 * (uint64(g.Degree(vb)) + 1)
-				cmp := simdef.CompareSimValues(ix.cn[uOff+int64(ord[a])], pa, ix.cn[uOff+int64(ord[b])], pb)
-				if cmp != 0 {
-					return cmp > 0 // higher similarity first
-				}
-				return va < vb
-			})
-		})
+		func(u int32, worker int) { ix.sortRun(u) })
 	if err != nil {
 		return nil, fmt.Errorf("gsindex: build aborted during neighbor-order pass after %v: %w", time.Since(start), err)
 	}

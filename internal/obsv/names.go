@@ -202,6 +202,33 @@ const (
 	// (index build) durations.
 	MetricServerCoalesceBuildNs = "server.coalesce.build_ns"
 
+	// Mutation metrics (server-local; see POST /edges and -mutations).
+	//
+	// MetricGraphEpoch reports the current snapshot epoch — 0 at startup,
+	// incremented by every effective POST /edges batch. Static servers
+	// stay at 0 forever.
+	MetricGraphEpoch = "graph.epoch"
+	// MetricGraphSnapshotsLive reports how many snapshot epochs the store
+	// still tracks (the current one plus superseded snapshots pinned by
+	// readers); absent when mutations are disabled.
+	MetricGraphSnapshotsLive = "graph.snapshots_live"
+	// MetricCacheInvalidations counts response-cache entries purged
+	// because a mutation advanced the epoch past theirs.
+	MetricCacheInvalidations = "server.cache.invalidations"
+	// MetricServerMutationBatches counts effective POST /edges commits
+	// (no-op batches excluded); MetricServerMutationEdges accumulates the
+	// edges they added plus removed.
+	MetricServerMutationBatches = "server.mutations.batches"
+	MetricServerMutationEdges   = "server.mutations.edges"
+	// MetricServerMutationCommitNs distributes graph.Store commit
+	// durations; MetricServerMutationUpdateNs distributes incremental
+	// index-maintenance durations (indexed servers only).
+	MetricServerMutationCommitNs = "server.mutations.commit_ns"
+	MetricServerMutationUpdateNs = "server.mutations.update_ns"
+	// MetricServerMutationRebuilds counts mutations whose incremental
+	// index update failed and fell back to a from-scratch rebuild.
+	MetricServerMutationRebuilds = "server.mutations.rebuilds"
+
 	// Sweep-endpoint metrics (server-local; see GET /cluster/sweep).
 	//
 	// MetricServerSweepSteps counts ε steps streamed across all sweep

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ppscan"
+	"ppscan/graph"
 	"ppscan/internal/gen"
 	"ppscan/internal/obsv"
 )
@@ -23,11 +24,11 @@ func blockingServer(t *testing.T, maxInflight int, timeout time.Duration) (s *Se
 	started = make(chan struct{}, 16)
 	s = New(testGraph(t), 2).WithAdmission(maxInflight, timeout)
 	real := s.runFn
-	s.runFn = func(ctx context.Context, opt ppscan.Options, ws *ppscan.Workspace) (*ppscan.Result, error) {
+	s.runFn = func(ctx context.Context, g *graph.Graph, opt ppscan.Options, ws *ppscan.Workspace) (*ppscan.Result, error) {
 		started <- struct{}{}
 		select {
 		case <-release:
-			return real(context.Background(), opt, ws)
+			return real(context.Background(), g, opt, ws)
 		case <-ctx.Done():
 			return nil, &ppscan.PartialError{Phase: "P1 prune-sim", Err: context.Cause(ctx)}
 		}
@@ -95,7 +96,7 @@ func TestAdmissionDegradesToCache(t *testing.T) {
 	// that blocks until we release it.
 	started := make(chan struct{})
 	block := make(chan struct{})
-	s.runFn = func(ctx context.Context, opt ppscan.Options, ws *ppscan.Workspace) (*ppscan.Result, error) {
+	s.runFn = func(ctx context.Context, g *graph.Graph, opt ppscan.Options, ws *ppscan.Workspace) (*ppscan.Result, error) {
 		close(started)
 		<-block
 		return nil, context.Canceled

@@ -21,7 +21,7 @@ func BenchmarkServerSteadyState(b *testing.B) {
 
 	// Warm both parameter sets so every workspace in rotation is grown.
 	for _, eps := range []string{"0.5", "0.6"} {
-		if _, err := s.resolve(ctx, eps, 4, ppscan.AlgoPPSCAN); err != nil {
+		if _, err := s.resolve(ctx, s.state.Load(), eps, 4, ppscan.AlgoPPSCAN); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -32,7 +32,7 @@ func BenchmarkServerSteadyState(b *testing.B) {
 		if i%2 == 1 {
 			eps = "0.6"
 		}
-		if _, err := s.resolve(ctx, eps, 4, ppscan.AlgoPPSCAN); err != nil {
+		if _, err := s.resolve(ctx, s.state.Load(), eps, 4, ppscan.AlgoPPSCAN); err != nil {
 			b.Fatal(err)
 		}
 	}

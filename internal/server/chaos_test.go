@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ppscan"
+	"ppscan/graph"
 	"ppscan/internal/fault"
 	"ppscan/internal/gen"
 	"ppscan/internal/obsv"
@@ -192,7 +193,7 @@ func TestServerWatchdogStall(t *testing.T) {
 func TestHandlerPanicContained(t *testing.T) {
 	g := gen.Roll(100, 6, 3)
 	srv := New(g, 2)
-	srv.runFn = func(ctx context.Context, opt ppscan.Options, ws *ppscan.Workspace) (*ppscan.Result, error) {
+	srv.runFn = func(ctx context.Context, g *graph.Graph, opt ppscan.Options, ws *ppscan.Workspace) (*ppscan.Result, error) {
 		panic("synthetic coordinator panic")
 	}
 	ts := httptest.NewServer(srv.Handler())

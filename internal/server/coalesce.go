@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"ppscan"
+	"ppscan/graph"
 	"ppscan/internal/obsv"
 )
 
@@ -46,11 +47,16 @@ type coalescer struct {
 	cur *flight // joinable flight; nil when none is open
 }
 
-// flight is one single-flight group: a shared index build and the set of
-// requests waiting on it.
+// flight is one single-flight group: a shared index build over ONE graph
+// snapshot and the set of requests waiting on it.
 type flight struct {
 	done   chan struct{} // closed once ix/err are set
 	cancel context.CancelFunc
+
+	// st is the epoch generation the flight's shared pass runs over,
+	// captured at open. Joins are epoch-gated: a request on a newer
+	// snapshot never shares a flight built over an older one.
+	st *epochState
 
 	// waiters and peak are guarded by coalescer.mu. waiters is joins
 	// minus leaves; the flight's context is cancelled when it hits zero.
@@ -62,12 +68,16 @@ type flight struct {
 	err error
 }
 
-// join returns the current flight, creating (and launching) one when none
-// is open. The caller must pair it with exactly one leave.
-func (c *coalescer) join() *flight {
+// join returns the flight for st's epoch, creating (and launching) one
+// when none is open for it. A still-open flight over an OLDER epoch is
+// displaced: it keeps running for its existing waiters (their responses
+// are correct for the snapshot they requested against), but no new
+// request joins it — the newcomer opens a fresh flight over the current
+// snapshot. The caller must pair join with exactly one leave.
+func (c *coalescer) join(st *epochState) *flight {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if f := c.cur; f != nil && f.waiters > 0 {
+	if f := c.cur; f != nil && f.waiters > 0 && f.st.epoch() == st.epoch() {
 		f.waiters++
 		if f.waiters > f.peak {
 			f.peak = f.waiters
@@ -78,7 +88,7 @@ func (c *coalescer) join() *flight {
 	// fctx is deliberately detached from every request context: the shared
 	// pass must survive any individual waiter leaving.
 	fctx, cancel := context.WithCancel(context.Background())
-	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1, peak: 1}
+	f := &flight{done: make(chan struct{}), cancel: cancel, st: st, waiters: 1, peak: 1}
 	c.cur = f
 	c.flights.Inc()
 	go c.run(f, fctx)
@@ -141,7 +151,7 @@ func (c *coalescer) run(f *flight, fctx context.Context) {
 	}
 	defer release()
 	t0 := time.Now()
-	ix, err := ppscan.BuildIndexContext(fctx, c.s.g, c.s.workers)
+	ix, err := ppscan.BuildIndexContext(fctx, f.st.g, c.s.workers)
 	d := time.Since(t0)
 	c.buildNs.Observe(d.Nanoseconds())
 	if err != nil && fctx.Err() != nil {
@@ -149,7 +159,7 @@ func (c *coalescer) run(f *flight, fctx context.Context) {
 	}
 	now := time.Now()
 	if c.s.exemplars.qualifies(d, now) {
-		e := exemplar{At: now, Eps: "*", Algo: "coalesce-build", Duration: d}
+		e := exemplar{At: now, Epoch: f.st.epoch(), Eps: "*", Algo: "coalesce-build", Duration: d}
 		if err != nil {
 			e.Err = err.Error()
 		}
@@ -173,10 +183,10 @@ func (c *coalescer) finish(f *flight, ix *ppscan.Index, err error) {
 }
 
 // do answers one request through the single-flight group: join (or open)
-// the current flight, wait for the shared pass, then extract this
+// the flight for st's epoch, wait for the shared pass, then extract this
 // request's (eps, mu) from the shared index.
-func (c *coalescer) do(ctx context.Context, eps string, mu int) (*ppscan.Result, error) {
-	f := c.join()
+func (c *coalescer) do(ctx context.Context, st *epochState, eps string, mu int) (*ppscan.Result, error) {
+	f := c.join(st)
 	defer c.leave(f)
 	select {
 	case <-f.done:
@@ -186,15 +196,15 @@ func (c *coalescer) do(ctx context.Context, eps string, mu int) (*ppscan.Result,
 	if f.err != nil {
 		return nil, f.err
 	}
-	return c.s.extract(ctx, f.ix, eps, mu)
+	return c.s.extract(ctx, f.st.g, f.ix, eps, mu)
 }
 
 // extract answers (eps, mu) from a shared index on a pooled workspace and
 // returns a detached clone. Extraction is O(answer) with no similarity
 // work, so — like degraded index serving — it runs without an admission
-// slot.
-func (s *Server) extract(ctx context.Context, ix *ppscan.Index, eps string, mu int) (*ppscan.Result, error) {
-	ws := s.pool.Acquire(int(s.g.NumVertices()), int(s.g.NumEdges()))
+// slot. g is the snapshot the index was built over (sizes the workspace).
+func (s *Server) extract(ctx context.Context, g *graph.Graph, ix *ppscan.Index, eps string, mu int) (*ppscan.Result, error) {
+	ws := s.pool.Acquire(int(g.NumVertices()), int(g.NumEdges()))
 	defer s.pool.Release(ws)
 	res, err := ppscan.QueryIndexWorkspace(ctx, ix, eps, mu, ws)
 	if err != nil {

@@ -137,11 +137,11 @@ func TestCoalesceWaiterLeaveKeepsSharedPass(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		_, err1 = srv.resolve(ctx1, "0.4", 3, ppscan.AlgoPPSCAN)
+		_, err1 = srv.resolve(ctx1, srv.state.Load(), "0.4", 3, ppscan.AlgoPPSCAN)
 	}()
 	go func() {
 		defer wg.Done()
-		res2, err2 = srv.resolve(context.Background(), "0.6", 3, ppscan.AlgoPPSCAN)
+		res2, err2 = srv.resolve(context.Background(), srv.state.Load(), "0.6", 3, ppscan.AlgoPPSCAN)
 	}()
 	// Let both join the holdoff window, then abandon the first waiter.
 	time.Sleep(50 * time.Millisecond)
@@ -178,7 +178,7 @@ func TestCoalesceLastWaiterCancelsSharedPass(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err := srv.resolve(ctx, "0.5", 3, ppscan.AlgoPPSCAN)
+		_, err := srv.resolve(ctx, srv.state.Load(), "0.5", 3, ppscan.AlgoPPSCAN)
 		done <- err
 	}()
 	time.Sleep(30 * time.Millisecond)
@@ -215,7 +215,7 @@ func TestCoalesceAcquireBounded(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := srv.resolve(context.Background(), "0.5", 3, ppscan.AlgoPPSCAN)
+		_, err := srv.resolve(context.Background(), srv.state.Load(), "0.5", 3, ppscan.AlgoPPSCAN)
 		done <- err
 	}()
 	select {

@@ -31,6 +31,7 @@ const DefaultExemplarWindow = 15 * time.Minute
 // exemplar is one retained slow request.
 type exemplar struct {
 	At       time.Time
+	Epoch    uint64 // graph snapshot the request was answered against
 	Eps      string
 	Mu       int
 	Algo     string
@@ -235,6 +236,7 @@ func (s *Server) putTracer(tr *obsv.Tracer) {
 type slowestEntry struct {
 	At         time.Time        `json:"at"`
 	AgeMs      float64          `json:"ageMs"`
+	Epoch      uint64           `json:"epoch"`
 	Eps        string           `json:"eps"`
 	Mu         int              `json:"mu"`
 	Algorithm  string           `json:"algorithm"`
@@ -271,6 +273,7 @@ func (s *Server) handleSlowest(w http.ResponseWriter, r *http.Request) {
 			entry := slowestEntry{
 				At:         e.At,
 				AgeMs:      float64(now.Sub(e.At)) / float64(time.Millisecond),
+				Epoch:      e.Epoch,
 				Eps:        e.Eps,
 				Mu:         e.Mu,
 				Algorithm:  e.Algo,

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ppscan"
+	"ppscan/graph"
 	"ppscan/internal/gen"
 	"ppscan/internal/obsv"
 	"ppscan/internal/result"
@@ -97,7 +98,7 @@ func TestSlowestEndpoint(t *testing.T) {
 
 	ctx := context.Background()
 	for _, eps := range []string{"0.3", "0.4", "0.5", "0.6", "0.7", "0.8"} {
-		if _, err := s.resolve(ctx, eps, 4, ppscan.AlgoPPSCAN); err != nil {
+		if _, err := s.resolve(ctx, s.state.Load(), eps, 4, ppscan.AlgoPPSCAN); err != nil {
 			t.Fatalf("resolve eps=%s: %v", eps, err)
 		}
 	}
@@ -196,10 +197,10 @@ func TestExemplarCapturesFailedRuns(t *testing.T) {
 	s := New(g, 1).WithExemplars(2, time.Hour, false)
 	wantErr := &ppscan.PartialError{Phase: "P2 check-core", Err: context.DeadlineExceeded}
 	wantErr.Stats.PhaseTimes[result.PhasePruning] = 7 * time.Millisecond
-	s.runFn = func(ctx context.Context, opt ppscan.Options, ws *ppscan.Workspace) (*ppscan.Result, error) {
+	s.runFn = func(ctx context.Context, g *graph.Graph, opt ppscan.Options, ws *ppscan.Workspace) (*ppscan.Result, error) {
 		return nil, wantErr
 	}
-	if _, err := s.resolve(context.Background(), "0.5", 4, ppscan.AlgoPPSCAN); !errors.As(err, new(*ppscan.PartialError)) {
+	if _, err := s.resolve(context.Background(), s.state.Load(), "0.5", 4, ppscan.AlgoPPSCAN); !errors.As(err, new(*ppscan.PartialError)) {
 		t.Fatalf("resolve error = %v, want the injected PartialError", err)
 	}
 	got := s.exemplars.snapshot(time.Now())
@@ -218,7 +219,7 @@ func TestExemplarCapturesFailedRuns(t *testing.T) {
 func TestWithExemplarsDisable(t *testing.T) {
 	g := gen.Roll(500, 6, 3)
 	s := New(g, 1).WithExemplars(0, 0, true)
-	if _, err := s.resolve(context.Background(), "0.5", 4, ppscan.AlgoPPSCAN); err != nil {
+	if _, err := s.resolve(context.Background(), s.state.Load(), "0.5", 4, ppscan.AlgoPPSCAN); err != nil {
 		t.Fatal(err)
 	}
 	req := httptest.NewRequest("GET", "/debug/slowest", nil)

@@ -63,3 +63,21 @@ func (c *lruCache) add(k cacheKey, v *ppscan.Result) {
 
 // len returns the number of cached entries.
 func (c *lruCache) len() int { return c.ll.Len() }
+
+// purgeBefore drops every entry cached against an epoch older than cur and
+// returns how many were removed. Called under the Server's cache mutex
+// after a mutation batch publishes a new snapshot: results computed over
+// the old graph must never answer requests on the new one.
+func (c *lruCache) purgeBefore(cur uint64) int {
+	purged := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*lruEntry).key.epoch < cur {
+			c.ll.Remove(el)
+			delete(c.items, el.Value.(*lruEntry).key)
+			purged++
+		}
+		el = next
+	}
+	return purged
+}

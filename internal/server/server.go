@@ -60,11 +60,41 @@ import (
 // results kept resident) unless overridden with WithCacheSize.
 const DefaultCacheSize = 64
 
-// Server answers structural clustering queries over one immutable graph.
+// epochState is one consistent serving generation: an immutable graph
+// snapshot and (when indexed) the index derived from exactly that
+// snapshot. Requests load the pointer once and thread it through their
+// whole lifetime, so a concurrent mutation can never hand one request a
+// graph and an index from different epochs — the new state is published
+// as a single atomic pointer swap. The generation's version is
+// g.Epoch(): 0 for a static server, advancing per effective mutation.
+type epochState struct {
+	g  *graph.Graph
+	ix *ppscan.Index
+}
+
+func (st *epochState) epoch() uint64 { return st.g.Epoch() }
+
+// Server answers structural clustering queries over one graph. The graph
+// is immutable per epoch: without WithMutations there is exactly one
+// epoch forever; with it, POST /edges commits batched edge mutations,
+// each producing a new snapshot (and incrementally-maintained index)
+// published atomically as the next epoch.
 type Server struct {
-	g       *graph.Graph
-	ix      *ppscan.Index
+	state   atomic.Pointer[epochState]
 	workers int
+
+	// Mutation serving (see WithMutations and mutations.go). store is nil
+	// unless mutations are enabled; mutMu serializes the whole
+	// commit→index-update→publish sequence so epochs advance in a total
+	// order. Instruments are cached at WithMutations.
+	store          *graph.Store
+	mutMu          sync.Mutex
+	invalidations  *obsv.Counter
+	mutBatches     *obsv.Counter
+	mutEdges       *obsv.Counter
+	mutRebuilds    *obsv.Counter
+	mutCommitNs    *obsv.Histogram
+	mutUpdateNs    *obsv.Histogram
 	algo    ppscan.Algorithm // default when the request omits algo=
 	reg     *obsv.Registry   // server-local: HTTP and cache metrics
 	logger  *log.Logger      // nil disables request logging
@@ -117,26 +147,27 @@ type Server struct {
 	phaseNs   [result.NumPhases]*obsv.Histogram
 
 	// runFn performs one direct clustering computation on a pooled
-	// workspace. It exists as a test seam (admission tests substitute a
-	// controllable function); production servers always use
-	// ppscan.RunWorkspace. The returned result may alias ws — resolve
-	// clones it before the workspace is released.
-	runFn func(ctx context.Context, opt ppscan.Options, ws *ppscan.Workspace) (*ppscan.Result, error)
+	// workspace, against the graph snapshot of the request's epoch. It
+	// exists as a test seam (admission tests substitute a controllable
+	// function); production servers always use ppscan.RunWorkspace. The
+	// returned result may alias ws — resolve clones it before the
+	// workspace is released.
+	runFn func(ctx context.Context, g *graph.Graph, opt ppscan.Options, ws *ppscan.Workspace) (*ppscan.Result, error)
 
 	mu    sync.Mutex
 	cache *lruCache
 }
 
 type cacheKey struct {
-	eps  string
-	mu   int
-	algo ppscan.Algorithm
+	eps   string
+	mu    int
+	algo  ppscan.Algorithm
+	epoch uint64
 }
 
 // New creates a server that runs the selected algorithm per request.
 func New(g *graph.Graph, workers int) *Server {
 	s := &Server{
-		g:                g,
 		workers:          workers,
 		reg:              obsv.New(),
 		start:            time.Now(),
@@ -144,8 +175,9 @@ func New(g *graph.Graph, workers int) *Server {
 		cache:            newLRU(DefaultCacheSize),
 		sharedAcquireMax: defaultSharedAcquireMax,
 	}
-	s.runFn = func(ctx context.Context, opt ppscan.Options, ws *ppscan.Workspace) (*ppscan.Result, error) {
-		return ppscan.RunWorkspace(ctx, s.g, opt, ws)
+	s.state.Store(&epochState{g: g})
+	s.runFn = func(ctx context.Context, g *graph.Graph, opt ppscan.Options, ws *ppscan.Workspace) (*ppscan.Result, error) {
+		return ppscan.RunWorkspace(ctx, g, opt, ws)
 	}
 	// Pre-register the admission counters so /metrics shows zeros before
 	// the first rejection instead of omitting the keys.
@@ -183,9 +215,11 @@ func New(g *graph.Graph, workers int) *Server {
 }
 
 // WithIndex attaches a prebuilt GS*-Index; index-served queries ignore the
-// algo parameter.
+// algo parameter. The index must have been built from the graph the
+// server was constructed with. Call during wiring, before serving starts.
 func (s *Server) WithIndex(ix *ppscan.Index) *Server {
-	s.ix = ix
+	st := s.state.Load()
+	s.state.Store(&epochState{g: st.g, ix: ix})
 	return s
 }
 
@@ -326,6 +360,7 @@ func (s *Server) routes() []route {
 		{"/healthz", "healthz", s.handleHealth},
 		{"/cluster", "cluster", s.handleCluster},
 		{"/cluster/sweep", "sweep", s.handleSweep},
+		{"/edges", "edges", s.handleEdges},
 		{"/vertex", "vertex", s.handleVertex},
 		{"/quality", "quality", s.handleQuality},
 		{"/metrics", "metrics", s.handleMetrics},
@@ -464,9 +499,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	out[obsv.MetricRuntimeGoroutines] = runtime.NumGoroutine()
 	out[obsv.MetricRuntimeHeapAlloc] = ms.HeapAlloc
 	out[obsv.MetricRuntimeNumGC] = ms.NumGC
-	out[obsv.MetricGraphVertices] = s.g.NumVertices()
-	out[obsv.MetricGraphEdges] = s.g.NumEdges()
-	out[obsv.MetricServerIndexed] = s.ix != nil
+	st := s.state.Load()
+	out[obsv.MetricGraphVertices] = st.g.NumVertices()
+	out[obsv.MetricGraphEdges] = st.g.NumEdges()
+	out[obsv.MetricGraphEpoch] = st.epoch()
+	if s.store != nil {
+		out[obsv.MetricGraphSnapshotsLive] = s.store.LiveSnapshots()
+	}
+	out[obsv.MetricServerIndexed] = st.ix != nil
 	out[obsv.MetricServerUptimeNs] = time.Since(s.start).Nanoseconds()
 	out[obsv.MetricServerDraining] = s.draining.Load()
 	out[obsv.MetricAdmissionMaxInflight] = cap(s.sem) // 0 = unlimited
@@ -491,7 +531,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	st := graph.ComputeStats("graph", s.g)
+	es := s.state.Load()
+	st := graph.ComputeStats("graph", es.g)
 	status, body := http.StatusOK, "ok"
 	if s.draining.Load() {
 		// Shutting down: tell load balancers to stop routing here while
@@ -504,7 +545,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"edges":     st.NumEdges / 2,
 		"avgDegree": st.AvgDegree,
 		"maxDegree": st.MaxDegree,
-		"indexed":   s.ix != nil,
+		"indexed":   es.ix != nil,
+		"epoch":     es.epoch(),
+		"mutable":   s.store != nil,
 	})
 }
 
@@ -594,13 +637,17 @@ func (s *Server) saturated() bool {
 	return s.sem != nil && len(s.sem) == cap(s.sem)
 }
 
-// resolve answers the clustering for the given parameters: from the LRU
-// cache when possible, else from the GS*-Index or a direct algorithm run
-// under admission control. ctx bounds the computation (client disconnect
-// and the configured per-request deadline).
-func (s *Server) resolve(ctx context.Context, eps string, mu int, algo ppscan.Algorithm) (*ppscan.Result, error) {
-	key := cacheKey{eps: eps, mu: mu, algo: algo}
-	if s.ix != nil || s.coalesce != nil {
+// resolve answers the clustering for the given parameters against one
+// epoch's consistent state: from the LRU cache when possible, else from
+// the GS*-Index or a direct algorithm run under admission control. ctx
+// bounds the computation (client disconnect and the configured
+// per-request deadline). st is the generation the caller loaded once for
+// the whole request; every answer — cached, coalesced, indexed or direct
+// — is derived from and cache-keyed to exactly that epoch, so a
+// concurrent mutation can never mix snapshots inside one response.
+func (s *Server) resolve(ctx context.Context, st *epochState, eps string, mu int, algo ppscan.Algorithm) (*ppscan.Result, error) {
+	key := cacheKey{eps: eps, mu: mu, algo: algo, epoch: st.epoch()}
+	if st.ix != nil || s.coalesce != nil {
 		// Index-derived answers are algorithm-independent: share one cache
 		// entry per (eps, mu) regardless of the requested algo.
 		key.algo = "index"
@@ -616,10 +663,11 @@ func (s *Server) resolve(ctx context.Context, eps string, mu int, algo ppscan.Al
 		return cached, nil
 	}
 	s.reg.Counter(obsv.MetricCacheMisses).Inc()
-	if s.coalesce != nil && s.ix == nil {
+	if s.coalesce != nil && st.ix == nil {
 		// Single-flight path: the flight holds the admission slot for the
-		// shared pass; this request only waits and extracts.
-		res, err := s.coalesce.do(ctx, eps, mu)
+		// shared pass; this request only waits and extracts. Flights are
+		// epoch-keyed — do only joins flights over st's snapshot.
+		res, err := s.coalesce.do(ctx, st, eps, mu)
 		if err != nil {
 			return nil, err
 		}
@@ -630,21 +678,21 @@ func (s *Server) resolve(ctx context.Context, eps string, mu int, algo ppscan.Al
 	}
 	release, ok := s.acquire()
 	if !ok {
-		if s.ix != nil {
+		if st.ix != nil {
 			// Saturated but index-backed: answer from the index without an
 			// admission slot — bounded O(answer) work — rather than queue
 			// or reject.
 			s.reg.Counter(obsv.MetricAdmissionDegradedIndex).Inc()
-			return s.queryIndex(key, eps, mu)
+			return s.queryIndex(st, key, eps, mu)
 		}
 		s.reg.Counter(obsv.MetricAdmissionRejected).Inc()
 		return nil, errSaturated
 	}
 	defer release()
-	if s.ix != nil {
-		return s.queryIndex(key, eps, mu)
+	if st.ix != nil {
+		return s.queryIndex(st, key, eps, mu)
 	}
-	res, err := s.runDirect(ctx, eps, mu, algo)
+	res, err := s.runDirect(ctx, st, eps, mu, algo)
 	if err != nil {
 		return nil, err // classified by writeResolveError
 	}
@@ -663,8 +711,8 @@ func (s *Server) resolve(ctx context.Context, eps string, mu int, algo ppscan.Al
 // for a panic on the coordinator path (e.g. a sequential baseline, or
 // Result.Clone on a corrupt result), which poisons and converts it to the
 // same structured error so writeResolveError needs only one rule.
-func (s *Server) runDirect(ctx context.Context, eps string, mu int, algo ppscan.Algorithm) (res *ppscan.Result, err error) {
-	ws := s.pool.Acquire(int(s.g.NumVertices()), int(s.g.NumEdges()))
+func (s *Server) runDirect(ctx context.Context, st *epochState, eps string, mu int, algo ppscan.Algorithm) (res *ppscan.Result, err error) {
+	ws := s.pool.Acquire(int(st.g.NumVertices()), int(st.g.NumEdges()))
 	defer s.pool.Release(ws)
 	defer func() {
 		if v := recover(); v != nil {
@@ -681,12 +729,12 @@ func (s *Server) runDirect(ctx context.Context, eps string, mu int, algo ppscan.
 		defer s.putTracer(tr)
 	}
 	t0 := time.Now()
-	r, err := s.runFn(ctx, ppscan.Options{
+	r, err := s.runFn(ctx, st.g, ppscan.Options{
 		Algorithm: algo, Epsilon: eps, Mu: mu, Workers: s.workers,
 		StallTimeout: s.watchdog, Tracer: tr,
 	}, ws)
 	d := time.Since(t0)
-	s.observeCompute(eps, mu, algo, d, r, err, tr)
+	s.observeCompute(st.epoch(), eps, mu, algo, d, r, err, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -701,7 +749,7 @@ func (s *Server) runDirect(ctx context.Context, eps string, mu int, algo ppscan.
 // is slow enough to qualify — a tail-latency exemplar. Failed runs count
 // too (their phase breakdown comes from the PartialError when one is
 // attached): the tail is where the failures live.
-func (s *Server) observeCompute(eps string, mu int, algo ppscan.Algorithm, d time.Duration, r *ppscan.Result, err error, tr *obsv.Tracer) {
+func (s *Server) observeCompute(epoch uint64, eps string, mu int, algo ppscan.Algorithm, d time.Duration, r *ppscan.Result, err error, tr *obsv.Tracer) {
 	s.computeNs.Observe(d.Nanoseconds())
 	phases, havePhases := phaseTimesOf(r, err)
 	if havePhases {
@@ -715,7 +763,7 @@ func (s *Server) observeCompute(eps string, mu int, algo ppscan.Algorithm, d tim
 	if !s.exemplars.qualifies(d, now) {
 		return
 	}
-	e := exemplar{At: now, Eps: eps, Mu: mu, Algo: string(algo), Duration: d}
+	e := exemplar{At: now, Epoch: epoch, Eps: eps, Mu: mu, Algo: string(algo), Duration: d}
 	if err != nil {
 		e.Err = err.Error()
 	}
@@ -742,12 +790,12 @@ func phaseTimesOf(r *ppscan.Result, err error) ([result.NumPhases]time.Duration,
 	return [result.NumPhases]time.Duration{}, false
 }
 
-// queryIndex answers from the attached GS*-Index and caches the result.
-func (s *Server) queryIndex(key cacheKey, eps string, mu int) (*ppscan.Result, error) {
+// queryIndex answers from the epoch's GS*-Index and caches the result.
+func (s *Server) queryIndex(st *epochState, key cacheKey, eps string, mu int) (*ppscan.Result, error) {
 	if mu <= 0 || mu > 1<<30 {
 		return nil, fmt.Errorf("mu out of range")
 	}
-	res, err := s.ix.Query(eps, int32(mu))
+	res, err := st.ix.Query(eps, int32(mu))
 	if err != nil {
 		return nil, err
 	}
@@ -849,7 +897,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.computeCtx(r)
 	defer cancel()
-	res, err := s.resolve(ctx, eps, mu, algo)
+	res, err := s.resolve(ctx, s.state.Load(), eps, mu, algo)
 	if err != nil {
 		s.writeResolveError(w, err)
 		return
@@ -886,16 +934,19 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// One state load serves the whole request: bounds check, clustering
+	// and attachment classification all see the same snapshot.
+	st := s.state.Load()
 	vStr := r.URL.Query().Get("v")
 	v64, err := strconv.ParseInt(vStr, 10, 32)
-	if err != nil || v64 < 0 || v64 >= int64(s.g.NumVertices()) {
+	if err != nil || v64 < 0 || v64 >= int64(st.g.NumVertices()) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad vertex %q", vStr))
 		return
 	}
 	v := int32(v64)
 	ctx, cancel := s.computeCtx(r)
 	defer cancel()
-	res, err := s.resolve(ctx, eps, mu, algo)
+	res, err := s.resolve(ctx, st, eps, mu, algo)
 	if err != nil {
 		s.writeResolveError(w, err)
 		return
@@ -909,10 +960,10 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 			clusters = append(clusters, m.ClusterID)
 		}
 	}
-	att := ppscan.ClassifyHubsOutliers(s.g, res)
+	att := ppscan.ClassifyHubsOutliers(st.g, res)
 	writeJSON(w, http.StatusOK, vertexInfo{
 		Vertex:     v,
-		Degree:     s.g.Degree(v),
+		Degree:     st.g.Degree(v),
 		Role:       res.Roles[v].String(),
 		Clusters:   clusters,
 		Attachment: att[v].String(),
@@ -932,19 +983,20 @@ func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	st := s.state.Load()
 	ctx, cancel := s.computeCtx(r)
 	defer cancel()
-	res, err := s.resolve(ctx, eps, mu, algo)
+	res, err := s.resolve(ctx, st, eps, mu, algo)
 	if err != nil {
 		s.writeResolveError(w, err)
 		return
 	}
-	reports := quality.Report(s.g, res)
+	reports := quality.Report(st.g, res)
 	if len(reports) > 10 {
 		reports = reports[:10]
 	}
 	writeJSON(w, http.StatusOK, qualityInfo{
-		Modularity:  quality.Modularity(s.g, res),
+		Modularity:  quality.Modularity(st.g, res),
 		Coverage:    quality.Coverage(res),
 		TopClusters: reports,
 	})

@@ -157,19 +157,21 @@ func formatDec(v int64, scale int) string {
 // whatever admission state protecting it: the attached index (slot when
 // available, degraded like /cluster when saturated), the coalescer's
 // current flight (the flight holds the slot), or a per-request build
-// under this request's own slot. release must be called exactly once
-// when err is nil; it is nil otherwise.
-func (s *Server) sweepIndex(ctx context.Context) (ix *ppscan.Index, release func(), err error) {
-	if s.ix != nil {
+// under this request's own slot. Everything is derived from the one
+// epochState st the caller loaded, so the whole sweep answers against a
+// single snapshot even while mutations land. release must be called
+// exactly once when err is nil; it is nil otherwise.
+func (s *Server) sweepIndex(ctx context.Context, st *epochState) (ix *ppscan.Index, release func(), err error) {
+	if st.ix != nil {
 		rel, ok := s.acquire()
 		if !ok {
 			s.reg.Counter(obsv.MetricAdmissionDegradedIndex).Inc()
 			rel = func() {}
 		}
-		return s.ix, rel, nil
+		return st.ix, rel, nil
 	}
 	if s.coalesce != nil {
-		f := s.coalesce.join()
+		f := s.coalesce.join(st)
 		leave := func() { s.coalesce.leave(f) }
 		select {
 		case <-f.done:
@@ -192,7 +194,7 @@ func (s *Server) sweepIndex(ctx context.Context) (ix *ppscan.Index, release func
 		return nil, nil, errSaturated
 	}
 	s.sweepBuilds.Inc()
-	ix, err = ppscan.BuildIndexContext(ctx, s.g, s.workers)
+	ix, err = ppscan.BuildIndexContext(ctx, st.g, s.workers)
 	if err != nil {
 		rel()
 		return nil, nil, err
@@ -229,10 +231,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	withMembers := q.Get("members") == "true"
 
+	// One state load pins the whole sweep to a single snapshot: every
+	// step, cache key, and workspace sizing below derives from st, so a
+	// concurrent mutation batch cannot tear the stream across epochs.
+	st := s.state.Load()
 	ctx, cancel := s.computeCtx(r)
 	defer cancel()
 	t0 := time.Now()
-	ix, release, err := s.sweepIndex(ctx)
+	ix, release, err := s.sweepIndex(ctx, st)
 	if err != nil {
 		s.writeResolveError(w, err)
 		return
@@ -240,7 +246,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	// One pooled workspace serves every step, grow-only across the grid.
-	ws := s.pool.Acquire(int(s.g.NumVertices()), int(s.g.NumEdges()))
+	ws := s.pool.Acquire(int(st.g.NumVertices()), int(st.g.NumEdges()))
 	defer s.pool.Release(ws)
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -254,7 +260,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		// configured): a sweep hits entries earlier requests left behind
 		// and warms the cache for the drill-down /cluster queries that
 		// typically follow a sweep.
-		key := cacheKey{eps: eps, mu: mu, algo: "index"}
+		key := cacheKey{eps: eps, mu: mu, algo: "index", epoch: st.epoch()}
 		s.mu.Lock()
 		res, hit := s.cache.get(key)
 		s.mu.Unlock()
@@ -314,7 +320,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
 	if s.exemplars.qualifies(d, now) {
 		s.exemplars.add(exemplar{
-			At: now, Eps: q.Get("eps"), Mu: mu, Algo: "sweep", Duration: d,
+			At: now, Epoch: st.epoch(), Eps: q.Get("eps"), Mu: mu, Algo: "sweep", Duration: d,
 		})
 	}
 }

@@ -332,6 +332,42 @@ func QueryIndexWorkspace(ctx context.Context, ix *Index, eps string, mu int, ws 
 	return ix.QueryWorkspace(ctx, eps, int32(mu), ws)
 }
 
+/// Store re-exports graph.Store: the epoch-versioned snapshot store that
+// layers batched edge mutations over the immutable CSR. Each Commit
+// produces a new immutable graph snapshot under the next epoch while
+// in-flight queries keep whatever snapshot they loaded.
+type Store = graph.Store
+
+// EdgeOp re-exports one edge mutation (insert or delete) for
+// Store.Commit batches.
+type EdgeOp = graph.EdgeOp
+
+/// GraphDelta re-exports the commit summary a Store produces: the
+// snapshot pair, the normalized applied edge sets, and the touched
+// vertices — the input contract of ApplyIndexBatch.
+type GraphDelta = graph.Delta
+
+// NewStore creates a snapshot store whose epoch-0 snapshot is g.
+func NewStore(g *graph.Graph) *Store {
+	return graph.NewStore(g)
+}
+
+// ApplyIndexBatch derives the GS*-Index for d.New from the index over
+// d.Old incrementally: similarities are recomputed only for edges
+// incident to the commit's touched vertices and the affected neighbor
+// orders are repaired in place, so a small-churn batch costs a small
+// fraction of a full BuildIndex while producing bit-identical query
+// results. The receiver index is not modified — like the store itself,
+// maintenance returns a new immutable index so queries in flight against
+// the old snapshot stay consistent. Scratch is drawn from ws (nil
+// allocates transient scratch); workers < 1 means GOMAXPROCS.
+func ApplyIndexBatch(ctx context.Context, ix *Index, d *GraphDelta, workers int, ws *Workspace) (*Index, error) {
+	if ix == nil {
+		return nil, fmt.Errorf("ppscan: nil index")
+	}
+	return ix.ApplyBatch(ctx, d, gsindex.BuildOptions{Workers: workers}, ws)
+}
+
 // SaveIndex serializes an index's payload; load it back with LoadIndex and
 // the same graph.
 func SaveIndex(w io.Writer, ix *Index) error {
