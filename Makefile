@@ -46,8 +46,11 @@ govulncheck:
 
 # The project-specific analyzers (internal/lint, cmd/scanlint): hot-path
 # allocation discipline, workspace aliasing, canonical metric names, loop
-# cancellation checkpoints, atomic/plain access mixing. Built from source —
-# no network needed — so it always runs, unlike the optional linters above.
+# cancellation checkpoints, atomic/plain access mixing, and the four
+# CFG/dataflow analyzers — snapshot immutability (snapfreeze), exactly-once
+# release paths (releaseonce), global lock ordering (lockorder) and bounded
+# blocking waits (chanwait). Built from source — no network needed — so it
+# always runs, unlike the optional linters above.
 scanlint:
 	$(GO) build -o $(TOOLS_BIN)/scanlint ./cmd/scanlint
 	$(TOOLS_BIN)/scanlint ./...
@@ -92,11 +95,14 @@ perf-baseline:
 
 # Documentation drift gate (cmd/docscheck): every flag each CLI binary
 # actually registers must have a backticked `-flag` entry in
-# OPERATIONS.md, and every HTTP route the server registers must appear in
-# the README API reference. Built from source like scanlint — no network.
+# OPERATIONS.md, every HTTP route the server registers must appear in the
+# README API reference, and the OPERATIONS.md §9 analyzer table must match
+# `scanlint -list` (both name directions plus each suppression directive).
+# Built from source like scanlint — no network.
 docs-check:
-	$(GO) build -o $(TOOLS_BIN)/ ./cmd/scanserver ./cmd/ppscan ./cmd/perfbench ./cmd/docscheck
+	$(GO) build -o $(TOOLS_BIN)/ ./cmd/scanserver ./cmd/ppscan ./cmd/perfbench ./cmd/docscheck ./cmd/scanlint
 	$(TOOLS_BIN)/docscheck -ops OPERATIONS.md -readme README.md \
+		-scanlint $(TOOLS_BIN)/scanlint \
 		$(TOOLS_BIN)/scanserver $(TOOLS_BIN)/ppscan $(TOOLS_BIN)/perfbench
 
 # The pre-merge gate: static checks, the full suite under the race

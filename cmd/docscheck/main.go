@@ -11,8 +11,12 @@
 // Each positional argument is a built binary; docscheck runs it with -h,
 // extracts every registered flag name from the usage listing, and
 // requires a backticked `-flag` mention in OPERATIONS.md. Every path from
-// server.Routes() must appear in README.md. Exit status: 0 = docs match,
-// 1 = drift (each missing item is listed), 2 = usage or I/O error.
+// server.Routes() must appear in README.md. With -scanlint PATH, the
+// OPERATIONS.md §9 analyzer table is additionally diffed against that
+// binary's -list output: every analyzer needs a table row, every row must
+// name a live analyzer, and each row's suppression directive must match
+// the code. Exit status: 0 = docs match, 1 = drift (each missing item is
+// listed), 2 = usage or I/O error.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 
 	"ppscan/internal/server"
@@ -32,7 +37,7 @@ func main() {
 }
 
 func realMain(args []string, w io.Writer) int {
-	opsPath, readmePath := "OPERATIONS.md", "README.md"
+	opsPath, readmePath, scanlintBin := "OPERATIONS.md", "README.md", ""
 	var bins []string
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
@@ -50,6 +55,13 @@ func realMain(args []string, w io.Writer) int {
 				return 2
 			}
 			readmePath = args[i]
+		case "-scanlint":
+			i++
+			if i >= len(args) {
+				fmt.Fprintln(w, "docscheck: -scanlint needs a binary path")
+				return 2
+			}
+			scanlintBin = args[i]
 		default:
 			bins = append(bins, args[i])
 		}
@@ -83,12 +95,99 @@ func realMain(args []string, w io.Writer) int {
 		fmt.Fprintf(w, "docscheck: route %s is not documented in %s\n", missing, readmePath)
 		drift++
 	}
+	if scanlintBin != "" {
+		analyzers, err := scanlintList(scanlintBin)
+		if err != nil {
+			fmt.Fprintf(w, "docscheck: %s: %v\n", scanlintBin, err)
+			return 2
+		}
+		for _, d := range checkAnalyzerTable(string(ops), analyzers) {
+			fmt.Fprintf(w, "docscheck: %s (in %s §9 analyzer table)\n", d, opsPath)
+			drift++
+		}
+	}
 	if drift > 0 {
 		fmt.Fprintf(w, "docscheck: %d undocumented item(s) — update the docs or the code\n", drift)
 		return 1
 	}
 	fmt.Fprintf(w, "docscheck: %d binarie(s) and %d routes match the docs\n", len(bins), len(server.Routes()))
 	return 0
+}
+
+// scanlintList runs bin -list and returns analyzer name → suppression
+// directive ("" when not suppressible). The -list format is two lines per
+// analyzer: "name  doc" flush left, then an indented "[suppress with
+// //lint:dir <reason>]" or "[not suppressible]" bracket line.
+func scanlintList(bin string) (map[string]string, error) {
+	out, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("running -list: %w\n%s", err, out)
+	}
+	analyzers := map[string]string{}
+	var last string
+	for _, line := range strings.Split(string(out), "\n") {
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, " ") {
+			last = strings.Fields(line)[0]
+			analyzers[last] = ""
+			continue
+		}
+		if m := listDirectiveRe.FindStringSubmatch(line); m != nil && last != "" {
+			analyzers[last] = m[1]
+		}
+	}
+	if len(analyzers) == 0 {
+		return nil, fmt.Errorf("-list output had no analyzers:\n%s", out)
+	}
+	return analyzers, nil
+}
+
+var listDirectiveRe = regexp.MustCompile(`\[suppress with //lint:([A-Za-z0-9]+) <reason>\]`)
+
+// analyzerRowRe matches the OPERATIONS.md §9 table rows: first cell a
+// backticked analyzer name, second cell its backticked //lint: directive
+// (or "—" for not-suppressible). Requiring both cell shapes keeps other
+// tables in the document from parsing as analyzer rows.
+var analyzerRowRe = regexp.MustCompile("(?m)^\\|\\s*`([A-Za-z0-9]+)`\\s*\\|\\s*(?:`//lint:([A-Za-z0-9]+)`|—)\\s*\\|")
+
+// checkAnalyzerTable diffs the documented analyzer table against the
+// analyzers registered in the scanlint binary, in both directions, plus
+// the per-row suppression directive.
+func checkAnalyzerTable(doc string, analyzers map[string]string) []string {
+	var drift []string
+	rows := map[string]string{}
+	for _, m := range analyzerRowRe.FindAllStringSubmatch(doc, -1) {
+		rows[m[1]] = m[2]
+	}
+	names := make([]string, 0, len(analyzers))
+	for name := range analyzers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dir, ok := rows[name]
+		if !ok {
+			drift = append(drift, fmt.Sprintf("analyzer %s has no table row", name))
+			continue
+		}
+		if dir != analyzers[name] {
+			drift = append(drift, fmt.Sprintf("analyzer %s row documents directive %q, code says %q",
+				name, dir, analyzers[name]))
+		}
+	}
+	rowNames := make([]string, 0, len(rows))
+	for name := range rows {
+		rowNames = append(rowNames, name)
+	}
+	sort.Strings(rowNames)
+	for _, name := range rowNames {
+		if _, ok := analyzers[name]; !ok {
+			drift = append(drift, fmt.Sprintf("table row %s names no registered analyzer", name))
+		}
+	}
+	return drift
 }
 
 // helpOutput runs bin -h and returns the combined usage text. The flag

@@ -48,3 +48,41 @@ func TestCheckRoutes(t *testing.T) {
 		t.Fatalf("missing = %v, want [/metrics]", missing)
 	}
 }
+
+const sampleTable = "| analyzer | suppression | pins |\n" +
+	"|---|---|---|\n" +
+	"| `hotalloc` | `//lint:allowalloc` | serving allocation budget |\n" +
+	"| `ctxloop` | `//lint:ctxok` | cancellation checkpoints |\n" +
+	"| `snapfreeze` | `//lint:snapfreeze` | frozen snapshot arrays |\n" +
+	"| `retired` | `//lint:retired` | an analyzer that no longer exists |\n" +
+	"| `chanwait` | `//lint:wrongname` | bounded blocking waits |\n"
+
+func TestCheckAnalyzerTable(t *testing.T) {
+	analyzers := map[string]string{
+		"hotalloc":   "allowalloc",
+		"ctxloop":    "ctxok",
+		"snapfreeze": "snapfreeze",
+		"chanwait":   "chanwait",
+		"lockorder":  "lockorder",
+	}
+	drift := checkAnalyzerTable(sampleTable, analyzers)
+	want := []string{
+		`analyzer chanwait row documents directive "wrongname", code says "chanwait"`,
+		"analyzer lockorder has no table row",
+		"table row retired names no registered analyzer",
+	}
+	if !reflect.DeepEqual(drift, want) {
+		t.Fatalf("drift = %q, want %q", drift, want)
+	}
+	// Other markdown tables (flag tables, gate tables) must not parse as
+	// analyzer rows: cells lacking the backtick-name + backtick-directive
+	// shape are ignored.
+	if d := checkAnalyzerTable("| `-addr host:port` | listen address |\n"+sampleTable, analyzers); !reflect.DeepEqual(d, drift) {
+		t.Fatalf("flag-table row changed the diff: %q", d)
+	}
+	// A clean table diffs clean.
+	clean := "| `hotalloc` | `//lint:allowalloc` | x |\n| `ctxloop` | `//lint:ctxok` | x |\n"
+	if d := checkAnalyzerTable(clean, map[string]string{"hotalloc": "allowalloc", "ctxloop": "ctxok"}); d != nil {
+		t.Fatalf("clean table produced drift: %q", d)
+	}
+}

@@ -114,8 +114,10 @@ func selectAnalyzers(all []*framework.Analyzer, enable, disable string) ([]*fram
 		return nil, fmt.Errorf("-enable and -disable are mutually exclusive")
 	}
 	byName := map[string]*framework.Analyzer{}
+	valid := make([]string, 0, len(all))
 	for _, a := range all {
 		byName[a.Name] = a
+		valid = append(valid, a.Name)
 	}
 	split := func(s string) ([]string, error) {
 		var names []string
@@ -125,7 +127,7 @@ func selectAnalyzers(all []*framework.Analyzer, enable, disable string) ([]*fram
 				continue
 			}
 			if byName[n] == nil {
-				return nil, fmt.Errorf("unknown analyzer %q (use -list)", n)
+				return nil, fmt.Errorf("unknown analyzer %q; valid analyzers: %s", n, strings.Join(valid, ", "))
 			}
 			names = append(names, n)
 		}

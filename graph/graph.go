@@ -246,6 +246,9 @@ func FromAdjacency(adj [][]int32) (*Graph, error) {
 	return FromEdges(n, edges)
 }
 
+// sortAdjacency orders each neighbor run ascending; construction only.
+//
+//lint:snapfreeze pre-publication: called from FromEdges before the graph is returned to any caller
 func (g *Graph) sortAdjacency() {
 	n := g.NumVertices()
 	for u := int32(0); u < n; u++ {

@@ -188,6 +188,7 @@ func (s *Store) CommitWith(batch []EdgeOp, prepare func(*Delta) error) (*Delta, 
 	if d.Empty() {
 		return d, nil
 	}
+	//lint:snapfreeze pre-publication: d.New is the next snapshot, invisible to readers until the CAS below
 	d.New.epoch = old.Epoch() + 1
 	if prepare != nil {
 		if err := prepare(d); err != nil {

@@ -610,6 +610,7 @@ func parallelParts(name string, p int, stall time.Duration, progress *atomic.Uin
 		}(w)
 	}
 	if stall <= 0 {
+		//lint:chanwait stall<=0 opts into unbounded wait by contract; workers run bounded loops with panic containment
 		wg.Wait()
 	} else if err := waitStall(&wg, stall, progress); err != nil {
 		return err
@@ -638,6 +639,7 @@ func waitStall(wg *sync.WaitGroup, stall time.Duration, progress *atomic.Uint64)
 	done := make(chan struct{})
 	//lint:panicsafe the goroutine only calls wg.Wait and close, which cannot panic
 	go func() {
+		//lint:chanwait this goroutine exists to convert Wait into the done channel the caller selects with the stall timer
 		wg.Wait()
 		close(done)
 	}()

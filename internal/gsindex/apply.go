@@ -154,6 +154,8 @@ func (ix *Index) runLess(uOff int64, a, b int32) bool {
 }
 
 // sortRun (re)initializes and sorts u's neighbor-order run.
+//
+//lint:snapfreeze pre-publication: receiver is always the still-private index under construction or repair
 func (ix *Index) sortRun(u int32) {
 	uOff := ix.g.Off[u]
 	deg := int64(ix.g.Degree(u))
@@ -420,6 +422,8 @@ func (ix *Index) repairRunBig(u int32, degChanged []uint64, w *applyWorker) {
 // their old order, inserted neighbors are appended behind them as stale
 // entries, and one insertRepair pass sorts the result. Wider runs take
 // the extraction-merge path.
+//
+//lint:snapfreeze pre-publication: nix is the unpublished next-epoch index until ApplyBatch returns it
 func (nix *Index) repairTouchedRun(u int32, old *Index, degChanged []uint64, w *applyWorker) {
 	oldG, newG := old.g, nix.g
 	oldNbrs, newNbrs := oldG.Neighbors(u), newG.Neighbors(u)
@@ -479,6 +483,8 @@ func (nix *Index) repairTouchedRun(u int32, old *Index, degChanged []uint64, w *
 // repairTouchedRunBig is repairTouchedRun for runs wider than 64
 // neighbors: the same survivors-then-inserted laydown, with stale
 // membership in 0/1 bytes and eager key fill, finished by bigRepair.
+//
+//lint:snapfreeze pre-publication: nix is the unpublished next-epoch index until ApplyBatch returns it
 func (nix *Index) repairTouchedRunBig(u int32, old *Index, degChanged []uint64, w *applyWorker) {
 	oldG, newG := old.g, nix.g
 	oldNbrs, newNbrs := oldG.Neighbors(u), newG.Neighbors(u)
@@ -546,6 +552,8 @@ func (nix *Index) repairTouchedRunBig(u int32, old *Index, degChanged []uint64, 
 // so only batch-inserted pairs pay an intersection, and order repair
 // is a near-sorted insertion pass per affected run. That is the ≥10×
 // win on small-churn batches the acceptance gate pins.
+//
+//lint:snapfreeze pre-publication: every write lands in nix, which no reader can see until this returns
 func (ix *Index) ApplyBatch(ctx context.Context, d *graph.Delta, opt BuildOptions, ws *engine.Workspace) (*Index, error) {
 	if d == nil || d.Old != ix.g {
 		return nil, fmt.Errorf("gsindex: ApplyBatch delta does not extend this index's snapshot (epoch %d)", ix.g.Epoch())

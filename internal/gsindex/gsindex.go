@@ -84,6 +84,8 @@ func Build(g *graph.Graph, opt BuildOptions) *Index {
 // phases. A cancelled build returns (nil, ctx.Err()); there is no partial
 // index (a half-filled cn array would violate the neighbor-order
 // invariant).
+//
+//lint:snapfreeze pre-publication: ix exists only in this builder until the return hands it to the caller
 func BuildContext(ctx context.Context, g *graph.Graph, opt BuildOptions) (*Index, error) {
 	if ctx == nil {
 		ctx = context.Background()

@@ -1,0 +1,12 @@
+package chanwait_test
+
+import (
+	"testing"
+
+	"ppscan/internal/lint/chanwait"
+	"ppscan/internal/lint/framework"
+)
+
+func TestChanwait(t *testing.T) {
+	framework.AnalysisTest(t, "testdata", chanwait.Analyzer, "chanfix")
+}

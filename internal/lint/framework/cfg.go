@@ -1,0 +1,515 @@
+// Intra-procedural control-flow graphs for the CFG-based analyzers
+// (releaseonce, lockorder, chanwait, …). The AST-walk analyzers of PR 4
+// answer "does this construct appear?"; the PR 7/8 invariant class —
+// "does this release run exactly once on EVERY exit path?" — needs paths,
+// so this file lowers a function body to basic blocks over
+// if/for/range/switch/type-switch/select/goto/labeled statements, with a
+// single synthetic Exit block that every return, panic and natural
+// fall-through edges into. defer and go statements stay ordinary nodes in
+// their block: whether a defer is registered on a given path is itself a
+// reachability question, so analyzers interpret the DeferStmt node where
+// the flow reaches it.
+//
+// The builder is deliberately smaller than x/tools/go/cfg (which this
+// container cannot vendor): expressions are not decomposed — short-circuit
+// && / || and conditional panics inside expressions are treated as
+// straight-line — and only statement-level control transfer creates edges.
+// That is exactly the granularity the lock/release/channel obligations
+// need, and it keeps block contents readable in fixtures.
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TermKind classifies how control leaves a block that edges into Exit.
+type TermKind int
+
+const (
+	// TermNone: the block does not terminate the function (its successors
+	// are ordinary blocks).
+	TermNone TermKind = iota
+	// TermReturn: an explicit return statement.
+	TermReturn
+	// TermFall: the function body's natural end (falling off the closing
+	// brace of a function without result values).
+	TermFall
+	// TermPanic: a statement-level panic(...) call. Deferred calls still
+	// run on this path, but the function's normal result path does not.
+	TermPanic
+	// TermFatal: a call that never returns and does NOT run deferred
+	// calls or continue the program (os.Exit, log.Fatal*, runtime.Goexit,
+	// testing fatals). Analyzers normally skip obligation checks on these
+	// edges: the process (or goroutine) is gone.
+	TermFatal
+)
+
+// A Block is one basic block: a maximal straight-line sequence of
+// statements (and the control expressions that guard its successors).
+type Block struct {
+	Index int
+	// Nodes holds the block's statements in source order. Control
+	// statements contribute their init/condition parts to the block that
+	// evaluates them; their sub-statements live in successor blocks.
+	Nodes []ast.Node
+	Succs []*Block
+
+	// Term / TermPos are set on blocks that edge into the synthetic Exit:
+	// how control left the function, and where.
+	Term    TermKind
+	TermPos token.Pos
+}
+
+// A CFG is the control-flow graph of one function body. Entry has no
+// predecessors; Exit is synthetic (no Nodes) and is the unique successor
+// of every terminating block.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+
+	preds map[*Block][]*Block
+}
+
+// Preds returns b's predecessor blocks.
+func (c *CFG) Preds(b *Block) []*Block { return c.preds[b] }
+
+// ExitEdge is one way control can leave the function: the terminating
+// block, how it terminates, and the position to report obligations at.
+type ExitEdge struct {
+	From *Block
+	Kind TermKind
+	Pos  token.Pos
+}
+
+// ExitEdges lists every REACHABLE edge into Exit in block order — dead
+// code after an unconditional transfer (e.g. the implicit fall-through
+// past an if/else where both arms return) carries no obligations. This is
+// the "every exit path" surface the obligation analyzers (releaseonce)
+// check — the synthesized edges directive suppression must also cover.
+func (c *CFG) ExitEdges() []ExitEdge {
+	live := c.reachableFromEntry()
+	var out []ExitEdge
+	for _, b := range c.Blocks {
+		if b.Term != TermNone && live[b] {
+			out = append(out, ExitEdge{From: b, Kind: b.Term, Pos: b.TermPos})
+		}
+	}
+	return out
+}
+
+func (c *CFG) reachableFromEntry() map[*Block]bool {
+	live := make(map[*Block]bool, len(c.Blocks))
+	var visit func(*Block)
+	visit = func(b *Block) {
+		if live[b] {
+			return
+		}
+		live[b] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(c.Entry)
+	return live
+}
+
+// BuildCFG lowers a function body to a CFG. info may be nil; when
+// present it is used to recognize the panic builtin precisely (otherwise
+// the callee name alone decides). body must not be nil.
+func BuildCFG(body *ast.BlockStmt, info *types.Info) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		info:   info,
+		labels: map[string]*labelBlocks{},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	// Natural fall-through off the closing brace.
+	if b.cur != nil {
+		b.terminate(TermFall, body.Rbrace)
+	}
+	b.resolveGotos()
+	b.cfg.preds = map[*Block][]*Block{}
+	for _, blk := range b.cfg.Blocks {
+		for _, s := range blk.Succs {
+			b.cfg.preds[s] = append(b.cfg.preds[s], blk)
+		}
+	}
+	return b.cfg
+}
+
+// labelBlocks tracks the blocks a label can transfer to.
+type labelBlocks struct {
+	target  *Block // goto / labeled-statement entry
+	breakTo *Block // break L
+	contTo  *Block // continue L
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	cfg  *CFG
+	info *types.Info
+	cur  *Block // nil after an unconditional transfer until a new block starts
+
+	// Innermost-first stacks of break/continue targets.
+	breakTargets []*Block
+	contTargets  []*Block
+
+	labels map[string]*labelBlocks
+	gotos  []pendingGoto
+
+	// nextLabel is set by a LabeledStmt so the loop/switch it labels can
+	// register its break/continue targets under the label.
+	nextLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// startBlock begins a new block and makes it current.
+func (b *cfgBuilder) startBlock() *Block {
+	blk := b.newBlock()
+	b.cur = blk
+	return blk
+}
+
+func edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// terminate marks the current block as an exit edge of the given kind.
+func (b *cfgBuilder) terminate(kind TermKind, pos token.Pos) {
+	if b.cur == nil {
+		return
+	}
+	b.cur.Term = kind
+	b.cur.TermPos = pos
+	edge(b.cur, b.cfg.Exit)
+	b.cur = nil
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		// Unreachable statement (after return/break/…): give it its own
+		// predecessor-less block so its nodes still exist in the graph.
+		b.startBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		after := b.newBlock()
+		thenBlk := b.startBlock()
+		edge(condBlk, thenBlk)
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			edge(b.cur, after)
+		}
+		if s.Else != nil {
+			elseBlk := b.startBlock()
+			edge(condBlk, elseBlk)
+			b.stmt(s.Else)
+			if b.cur != nil {
+				edge(b.cur, after)
+			}
+		} else {
+			edge(condBlk, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		after := b.newBlock()
+		post := b.newBlock()
+		if s.Post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+		}
+		edge(post, head)
+		if s.Cond != nil {
+			edge(head, after)
+		}
+		body := b.startBlock()
+		edge(head, body)
+		b.pushLoop(after, post, label, head)
+		b.stmtList(s.Body.List)
+		b.popLoop()
+		if b.cur != nil {
+			edge(b.cur, post)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s) // the range header: X evaluation + per-iteration assigns
+		head := b.newBlock()
+		edge(b.cur, head)
+		after := b.newBlock()
+		edge(head, after) // range may be empty / exhausted
+		body := b.startBlock()
+		edge(head, body)
+		b.pushLoop(after, head, label, head)
+		b.stmtList(s.Body.List)
+		b.popLoop()
+		if b.cur != nil {
+			edge(b.cur, head)
+		}
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(s.Body.List, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(s.Body.List, label, nil)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		header := b.cur
+		after := b.newBlock()
+		if label != "" {
+			b.labels[label].breakTo = after
+		}
+		b.breakTargets = append(b.breakTargets, after)
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CommClause)
+			blk := b.startBlock()
+			edge(header, blk)
+			if clause.Comm != nil {
+				b.add(clause.Comm)
+			}
+			b.stmtList(clause.Body)
+			if b.cur != nil {
+				edge(b.cur, after)
+			}
+		}
+		b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever: no successors out of header.
+			_ = header
+		}
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		lb := b.ensureLabel(s.Label.Name)
+		target := b.newBlock()
+		lb.target = target
+		edge(b.cur, target)
+		b.cur = target
+		b.nextLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.nextLabel = ""
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				if lb := b.ensureLabel(s.Label.Name); lb.breakTo != nil {
+					edge(b.cur, lb.breakTo)
+				}
+			} else if n := len(b.breakTargets); n > 0 {
+				edge(b.cur, b.breakTargets[n-1])
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if s.Label != nil {
+				if lb := b.ensureLabel(s.Label.Name); lb.contTo != nil {
+					edge(b.cur, lb.contTo)
+				}
+			} else if n := len(b.contTargets); n > 0 {
+				edge(b.cur, b.contTargets[n-1])
+			}
+			b.cur = nil
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled structurally by caseClauses (the fallthrough edge is
+			// added there); nothing to do at the statement itself.
+			b.add(s)
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate(TermReturn, s.Pos())
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if kind := b.terminatingCall(call); kind != TermNone {
+				b.terminate(kind, s.Pos())
+			}
+		}
+
+	default:
+		// DeferStmt, GoStmt, assignments, declarations, sends, incdec, …
+		// are straight-line at statement granularity.
+		b.add(s)
+	}
+}
+
+// caseClauses lowers a (type) switch body: each case gets its own block,
+// fallthrough chains to the next case's block, and a missing default adds
+// a direct header→after edge.
+func (b *cfgBuilder) caseClauses(clauses []ast.Stmt, label string, _ *Block) {
+	header := b.cur
+	after := b.newBlock()
+	if label != "" {
+		b.labels[label].breakTo = after
+	}
+	b.breakTargets = append(b.breakTargets, after)
+	var caseBlocks []*Block
+	hasDefault := false
+	for range clauses {
+		caseBlocks = append(caseBlocks, b.newBlock())
+	}
+	for i, cs := range clauses {
+		clause := cs.(*ast.CaseClause)
+		if clause.List == nil {
+			hasDefault = true
+		}
+		blk := caseBlocks[i]
+		edge(header, blk)
+		b.cur = blk
+		for _, e := range clause.List {
+			b.add(e)
+		}
+		fallsThrough := false
+		for _, st := range clause.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+		}
+		b.stmtList(clause.Body)
+		if fallsThrough && i+1 < len(caseBlocks) {
+			if b.cur != nil {
+				edge(b.cur, caseBlocks[i+1])
+				b.cur = nil
+			}
+		}
+		if b.cur != nil {
+			edge(b.cur, after)
+		}
+	}
+	if !hasDefault {
+		edge(header, after)
+	}
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *Block, label string, _ *Block) {
+	b.breakTargets = append(b.breakTargets, brk)
+	b.contTargets = append(b.contTargets, cont)
+	if label != "" {
+		lb := b.ensureLabel(label)
+		lb.breakTo = brk
+		lb.contTo = cont
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.contTargets = b.contTargets[:len(b.contTargets)-1]
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.nextLabel
+	b.nextLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) ensureLabel(name string) *labelBlocks {
+	lb := b.labels[name]
+	if lb == nil {
+		lb = &labelBlocks{}
+		b.labels[name] = lb
+	}
+	return lb
+}
+
+func (b *cfgBuilder) resolveGotos() {
+	for _, g := range b.gotos {
+		if lb := b.labels[g.label]; lb != nil && lb.target != nil {
+			edge(g.from, lb.target)
+		}
+	}
+}
+
+// fatalCallees are callee names (resolved syntactically) whose call never
+// returns and never runs this function's deferred calls to completion of
+// a normal exit path — obligation analyzers skip these edges.
+var fatalCallees = map[string]bool{
+	"Exit":    true, // os.Exit
+	"Goexit":  true, // runtime.Goexit (does run defers, but the goroutine ends)
+	"Fatal":   true, // log.Fatal, (*testing.T).Fatal
+	"Fatalf":  true,
+	"Fatalln": true,
+}
+
+// terminatingCall classifies a statement-level call that ends the path.
+func (b *cfgBuilder) terminatingCall(call *ast.CallExpr) TermKind {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b.info != nil {
+			if blt, ok := b.info.Uses[id].(*types.Builtin); ok && blt.Name() == "panic" {
+				return TermPanic
+			}
+		} else if id.Name == "panic" {
+			return TermPanic
+		}
+	}
+	if fatalCallees[CalleeName(call)] {
+		return TermFatal
+	}
+	return TermNone
+}

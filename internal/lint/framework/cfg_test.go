@@ -1,0 +1,397 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFromSrc parses a single function body and builds its CFG (no type
+// info, so panic is recognized by name).
+func buildFromSrc(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fn.Body, nil)
+}
+
+func exitKinds(c *CFG) []TermKind {
+	var ks []TermKind
+	for _, e := range c.ExitEdges() {
+		ks = append(ks, e.Kind)
+	}
+	return ks
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	c := buildFromSrc(t, "x := 1\n_ = x")
+	ks := exitKinds(c)
+	if len(ks) != 1 || ks[0] != TermFall {
+		t.Fatalf("want one TermFall exit, got %v", ks)
+	}
+}
+
+func TestCFGIfElseReturns(t *testing.T) {
+	c := buildFromSrc(t, `
+	if true {
+		return
+	} else {
+		return
+	}`)
+	ks := exitKinds(c)
+	if len(ks) != 2 {
+		t.Fatalf("want 2 exits, got %v", ks)
+	}
+	for _, k := range ks {
+		if k != TermReturn {
+			t.Fatalf("want all TermReturn, got %v", ks)
+		}
+	}
+	// The implicit fall-through after the if is unreachable: every exit
+	// comes from a return, none from the closing brace.
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	c := buildFromSrc(t, `
+	if true {
+		return
+	}
+	println("after")`)
+	ks := exitKinds(c)
+	if len(ks) != 2 || ks[0] == ks[1] {
+		t.Fatalf("want one TermReturn and one TermFall, got %v", ks)
+	}
+}
+
+func TestCFGPanicAndFatal(t *testing.T) {
+	c := buildFromSrc(t, `
+	if true {
+		panic("boom")
+	}
+	os.Exit(1)`)
+	var sawPanic, sawFatal bool
+	for _, e := range c.ExitEdges() {
+		switch e.Kind {
+		case TermPanic:
+			sawPanic = true
+		case TermFatal:
+			sawFatal = true
+		}
+	}
+	if !sawPanic || !sawFatal {
+		t.Fatalf("want panic and fatal exits, got %v", exitKinds(c))
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	c := buildFromSrc(t, `
+	for i := 0; i < 10; i++ {
+		println(i)
+	}
+	return`)
+	// The loop head must be its own predecessor transitively (back edge
+	// through the post block): verify a cycle exists among reachable blocks.
+	if !hasCycle(c) {
+		t.Fatal("for loop should produce a back edge cycle")
+	}
+	ks := exitKinds(c)
+	if len(ks) != 1 || ks[0] != TermReturn {
+		t.Fatalf("want single return exit, got %v", ks)
+	}
+}
+
+func TestCFGRangeBreakContinue(t *testing.T) {
+	c := buildFromSrc(t, `
+	for _, v := range xs {
+		if v == 0 {
+			continue
+		}
+		if v == 1 {
+			break
+		}
+		println(v)
+	}`)
+	if !hasCycle(c) {
+		t.Fatal("range loop should produce a back edge")
+	}
+	if n := len(exitKinds(c)); n != 1 {
+		t.Fatalf("want 1 exit (fallthrough), got %d", n)
+	}
+}
+
+func TestCFGSwitchFallthroughAndDefault(t *testing.T) {
+	c := buildFromSrc(t, `
+	switch x {
+	case 1:
+		println("one")
+		fallthrough
+	case 2:
+		println("two")
+	default:
+		return
+	}
+	println("after")`)
+	ks := exitKinds(c)
+	// Exits: the default's return, and the fall-off-the-end after the switch.
+	if len(ks) != 2 {
+		t.Fatalf("want 2 exits, got %v", ks)
+	}
+}
+
+func TestCFGSelectClausesAllReachable(t *testing.T) {
+	c := buildFromSrc(t, `
+	select {
+	case <-a:
+		return
+	case <-b:
+		println("b")
+	}
+	println("after")`)
+	ks := exitKinds(c)
+	if len(ks) != 2 {
+		t.Fatalf("want return + fall exits, got %v", ks)
+	}
+}
+
+func TestCFGGotoForwardAndBackward(t *testing.T) {
+	c := buildFromSrc(t, `
+	i := 0
+loop:
+	i++
+	if i < 3 {
+		goto loop
+	}
+	goto done
+	println("skipped")
+done:
+	return`)
+	if !hasCycle(c) {
+		t.Fatal("backward goto should create a cycle")
+	}
+	ks := exitKinds(c)
+	if len(ks) < 1 || ks[len(ks)-1] != TermReturn {
+		t.Fatalf("want reachable return exit, got %v", ks)
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	c := buildFromSrc(t, `
+outer:
+	for {
+		for {
+			break outer
+		}
+	}
+	return`)
+	ks := exitKinds(c)
+	if len(ks) != 1 || ks[0] != TermReturn {
+		t.Fatalf("labeled break should reach the return, got %v", ks)
+	}
+}
+
+func TestCFGInfiniteLoopNoFallExit(t *testing.T) {
+	c := buildFromSrc(t, `
+	for {
+		println("spin")
+	}`)
+	for _, e := range c.ExitEdges() {
+		if e.Kind == TermFall && reachable(c, e.From) {
+			t.Fatal("infinite loop must not have a reachable fall-through exit")
+		}
+	}
+}
+
+func TestCFGDeferStaysInBlock(t *testing.T) {
+	c := buildFromSrc(t, `
+	defer cleanup()
+	return`)
+	found := false
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("defer statement should appear as a block node")
+	}
+}
+
+// hasCycle reports whether the reachable subgraph contains a cycle.
+func hasCycle(c *CFG) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*Block]int{}
+	var visit func(*Block) bool
+	visit = func(b *Block) bool {
+		color[b] = gray
+		for _, s := range b.Succs {
+			switch color[s] {
+			case gray:
+				return true
+			case white:
+				if visit(s) {
+					return true
+				}
+			}
+		}
+		color[b] = black
+		return false
+	}
+	return visit(c.Entry)
+}
+
+func reachable(c *CFG, target *Block) bool {
+	seen := map[*Block]bool{}
+	var visit func(*Block) bool
+	visit = func(b *Block) bool {
+		if b == target {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if visit(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return visit(c.Entry)
+}
+
+// --- dataflow ---
+
+// TestForwardReachingPrintln runs a trivial "count println statements on
+// the path" analysis: the fact is the max number of println calls seen on
+// any path into the block. On the diamond below the join must take the max.
+func TestForwardJoinAtMerge(t *testing.T) {
+	c := buildFromSrc(t, `
+	if cond {
+		println("a")
+		println("b")
+	} else {
+		println("c")
+	}
+	return`)
+	countCalls := func(b *Block) int {
+		n := 0
+		for _, nd := range b.Nodes {
+			ast.Inspect(nd, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "println" {
+						n++
+					}
+				}
+				return true
+			})
+		}
+		return n
+	}
+	max := func(a, b int) int {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	_, out := Forward(c, 0,
+		max,
+		func(b *Block, f int) int { return f + countCalls(b) },
+		func(a, b int) bool { return a == b },
+	)
+	// The exit block's input is the max over both branches: 2.
+	got := -1
+	for _, p := range c.Preds(c.Exit) {
+		if v, ok := out[p]; ok && v > got {
+			got = v
+		}
+	}
+	if got != 2 {
+		t.Fatalf("want max path count 2 at exit, got %d", got)
+	}
+}
+
+// TestForwardLoopFixpoint: facts must converge on a loop; a "was a call
+// ever seen" boolean reaches fixpoint after one trip round the back edge.
+func TestForwardLoopFixpoint(t *testing.T) {
+	c := buildFromSrc(t, `
+	for i := 0; i < 3; i++ {
+		println(i)
+	}
+	return`)
+	sawCall := func(b *Block) bool {
+		for _, nd := range b.Nodes {
+			if _, ok := nd.(*ast.ExprStmt); ok {
+				return true
+			}
+		}
+		return false
+	}
+	_, out := Forward(c, false,
+		func(a, b bool) bool { return a || b },
+		func(b *Block, f bool) bool { return f || sawCall(b) },
+		func(a, b bool) bool { return a == b },
+	)
+	seen := false
+	for _, p := range c.Preds(c.Exit) {
+		if out[p] {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("loop body call should be visible at exit after fixpoint")
+	}
+}
+
+// TestForwardUnreachableAbsent: blocks after an unconditional return are
+// not in the in/out maps.
+func TestForwardUnreachableAbsent(t *testing.T) {
+	c := buildFromSrc(t, `
+	return
+	println("dead")`)
+	in, _ := Forward(c, 0,
+		func(a, b int) int { return a + b },
+		func(b *Block, f int) int { return f },
+		func(a, b int) bool { return a == b },
+	)
+	for _, b := range c.Blocks {
+		if !reachable(c, b) {
+			if _, ok := in[b]; ok {
+				t.Fatalf("unreachable block %d has a fact", b.Index)
+			}
+		}
+	}
+}
+
+func TestExitEdgePositions(t *testing.T) {
+	src := "package p\nfunc f() {\n\treturn\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	c := BuildCFG(fn.Body, nil)
+	for _, e := range c.ExitEdges() {
+		p := fset.Position(e.Pos)
+		if p.Line != 3 {
+			t.Fatalf("exit edge position = line %d, want 3", p.Line)
+		}
+	}
+	if !strings.Contains(src, "return") {
+		t.Fatal("sanity")
+	}
+}

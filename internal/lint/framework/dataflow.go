@@ -1,0 +1,110 @@
+// Generic forward dataflow over the CFGs built by cfg.go. Analyzers supply
+// the lattice (join/equal) and the transfer function; this file supplies
+// the worklist fixpoint. Facts are arbitrary values — releaseonce uses a
+// map of resource states, lockorder a held-lock set — so the engine is
+// generic rather than bit-vector based. Function bodies in this repo are
+// a few dozen blocks at most; a reverse-post-order worklist converges in
+// a handful of passes and needs no widening.
+package framework
+
+// Forward computes the least fixpoint of a forward dataflow problem over
+// c, returning the fact at entry (in) and exit (out) of every reachable
+// block. Unreachable blocks (no path from Entry) are absent from both
+// maps — analyzers must treat a missing block as "no fact", not bottom.
+//
+//   - entry is the fact at the function's Entry block.
+//   - join merges facts at control-flow merges; it must be commutative,
+//     associative and monotone, and must NOT mutate its arguments.
+//   - transfer applies one block's effect; it must not mutate its input.
+//   - equal decides convergence.
+func Forward[F any](c *CFG, entry F, join func(F, F) F, transfer func(*Block, F) F, equal func(F, F) bool) (in, out map[*Block]F) {
+	in = make(map[*Block]F, len(c.Blocks))
+	out = make(map[*Block]F, len(c.Blocks))
+
+	order := postorder(c)
+	// Reverse postorder: process predecessors before successors where the
+	// graph allows, so loops converge in few iterations.
+	rpo := make([]*Block, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		rpo = append(rpo, order[i])
+	}
+	pos := make(map[*Block]int, len(rpo))
+	for i, b := range rpo {
+		pos[b] = i
+	}
+
+	in[c.Entry] = entry
+	out[c.Entry] = transfer(c.Entry, entry)
+
+	inWork := make(map[*Block]bool, len(rpo))
+	var work []*Block
+	for _, b := range rpo {
+		if b != c.Entry {
+			work = append(work, b)
+			inWork[b] = true
+		}
+	}
+	for len(work) > 0 {
+		// Pop the earliest block in RPO still on the worklist.
+		best := 0
+		for i := 1; i < len(work); i++ {
+			if pos[work[i]] < pos[work[best]] {
+				best = i
+			}
+		}
+		b := work[best]
+		work = append(work[:best], work[best+1:]...)
+		inWork[b] = false
+
+		var acc F
+		have := false
+		for _, p := range c.Preds(b) {
+			po, ok := out[p]
+			if !ok {
+				continue // predecessor not yet reached
+			}
+			if !have {
+				acc = po
+				have = true
+			} else {
+				acc = join(acc, po)
+			}
+		}
+		if !have {
+			continue // unreachable (all preds unreached)
+		}
+		in[b] = acc
+		no := transfer(b, acc)
+		old, had := out[b]
+		if had && equal(old, no) {
+			continue
+		}
+		out[b] = no
+		for _, s := range b.Succs {
+			if !inWork[s] {
+				work = append(work, s)
+				inWork[s] = true
+			}
+		}
+	}
+	return in, out
+}
+
+// postorder returns the blocks reachable from Entry in DFS postorder.
+func postorder(c *CFG) []*Block {
+	var order []*Block
+	seen := make(map[*Block]bool, len(c.Blocks))
+	var visit func(*Block)
+	visit = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+		order = append(order, b)
+	}
+	visit(c.Entry)
+	return order
+}

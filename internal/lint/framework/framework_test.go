@@ -80,6 +80,116 @@ func TestParseDirective(t *testing.T) {
 	}
 }
 
+// exitAnalyzer is a toy CFG-based analyzer: it reports one fact per
+// reachable exit edge, at the edge's synthesized position (the return
+// statement, or the closing brace for fall-off-end). It exists to prove
+// the suppression machinery reaches facts that no source statement owns.
+var exitAnalyzer = &Analyzer{
+	Name:      "exit",
+	Directive: "exit",
+	Doc:       "reports every reachable exit edge of every function",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				c := BuildCFG(fn.Body, pass.TypesInfo)
+				for _, e := range c.ExitEdges() {
+					switch e.Kind {
+					case TermReturn:
+						pass.Reportf(e.Pos, "exit via return")
+					case TermFall:
+						pass.Reportf(e.Pos, "exit falls off the end")
+					}
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// TestFuncDocSuppressesExitEdgeFacts pins the contract CFG-based analyzers
+// depend on: a //lint: directive in the function doc comment suppresses
+// facts anchored to synthesized exit edges — including the fall-off-end
+// report at the closing brace, which sits on the function's last line and
+// has no statement of its own to annotate.
+func TestFuncDocSuppressesExitEdgeFacts(t *testing.T) {
+	pkg, err := loadFixture("testdata/src/exitedges", "exitedges")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := Run(pkg, []*Analyzer{exitAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "exit" {
+			t.Errorf("unexpected analyzer %q in %s", d.Analyzer, d)
+		}
+	}
+	checkExpectations(t, pkg, diags)
+}
+
+// TestLoadMultiPackage drives the loader with several patterns at once —
+// a recursive import-path pattern plus a single package — the shape `make
+// scanlint` uses on ./... . One go list -deps -export run must cover the
+// union, and every matched package must come back fully type-checked.
+func TestLoadMultiPackage(t *testing.T) {
+	pkgs, err := Load(".", "ppscan/internal/lint/...", "ppscan/graph")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	seen := map[string]*Package{}
+	for _, p := range pkgs {
+		if seen[p.ImportPath] != nil {
+			t.Errorf("package %s loaded twice", p.ImportPath)
+		}
+		seen[p.ImportPath] = p
+		if len(p.Files) == 0 || p.Types == nil || len(p.TypesInfo.Defs) == 0 {
+			t.Errorf("incomplete package %s: files=%d types=%v defs=%d",
+				p.ImportPath, len(p.Files), p.Types != nil, len(p.TypesInfo.Defs))
+		}
+	}
+	for _, want := range []string{
+		"ppscan/internal/lint",
+		"ppscan/internal/lint/framework",
+		"ppscan/internal/lint/releaseonce",
+		"ppscan/graph",
+	} {
+		if seen[want] == nil {
+			t.Errorf("pattern union did not load %s (got %d packages)", want, len(pkgs))
+		}
+	}
+	if len(pkgs) < 12 {
+		t.Errorf("got %d packages, want at least 12 (lint + framework + analyzers + graph)", len(pkgs))
+	}
+	// Cross-package type identity: the aggregator's view of framework's
+	// types must come through the export-data importer, not a re-parse.
+	if lint, fw := seen["ppscan/internal/lint"], seen["ppscan/internal/lint/framework"]; lint != nil && fw != nil {
+		var imported bool
+		for _, imp := range lint.Types.Imports() {
+			if imp.Path() == "ppscan/internal/lint/framework" {
+				imported = true
+			}
+		}
+		if !imported {
+			t.Errorf("ppscan/internal/lint does not record its framework import")
+		}
+	}
+
+	// Multiple relative patterns resolve against dir, like the CLI's
+	// positional arguments.
+	rel, err := Load("../..", "./lint/framework", "./lint/hotalloc")
+	if err != nil {
+		t.Fatalf("Load with relative patterns: %v", err)
+	}
+	if len(rel) != 2 {
+		t.Fatalf("got %d packages from two relative patterns, want 2", len(rel))
+	}
+}
+
 // TestLoadSelf loads this very package through the production loader,
 // proving the go list -export + gc-importer pipeline produces a complete
 // types.Info offline.

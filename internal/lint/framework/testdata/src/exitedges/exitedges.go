@@ -1,0 +1,52 @@
+// Package exitedges exercises directive suppression against facts that a
+// CFG-based analyzer attaches to synthesized exit edges. The fall-off-end
+// exit is reported at the body's closing brace — a position no source
+// statement owns — so the func-doc directive form must cover it: the
+// whole-function range is the only annotation a human can reasonably
+// write for it.
+package exitedges
+
+func cond() bool { return true } // want `exit via return`
+
+func twoReturns() int {
+	if cond() {
+		return 1 // want `exit via return`
+	}
+	return 0 // want `exit via return`
+}
+
+func fallsOff() {
+	cond()
+} // want `exit falls off the end`
+
+// deadTail: the trailing return is unreachable — both branches return —
+// so only the two live exits are reported; dead code carries no exit
+// obligations.
+func deadTail() int {
+	if cond() {
+		return 1 // want `exit via return`
+	}
+	return 0 // want `exit via return`
+}
+
+//lint:exit fixture: every exit in this function is audited
+func suppressedReturns() int {
+	if cond() {
+		return 1
+	}
+	return 0
+}
+
+// suppressedFall pins the satellite requirement: the report for the
+// synthesized fall-off-end edge lands on the closing brace, and the
+// func-doc directive still suppresses it.
+//
+//lint:exit fixture: the brace-anchored fall-off report is covered too
+func suppressedFall() {
+	cond()
+}
+
+func lineSuppressedReturn() int {
+	//lint:exit fixture: line directives keep working on return exits
+	return 1
+}

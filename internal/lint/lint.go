@@ -6,11 +6,15 @@ package lint
 
 import (
 	"ppscan/internal/lint/atomicmix"
+	"ppscan/internal/lint/chanwait"
 	"ppscan/internal/lint/ctxloop"
 	"ppscan/internal/lint/framework"
 	"ppscan/internal/lint/hotalloc"
+	"ppscan/internal/lint/lockorder"
 	"ppscan/internal/lint/metricname"
 	"ppscan/internal/lint/panicsafe"
+	"ppscan/internal/lint/releaseonce"
+	"ppscan/internal/lint/snapfreeze"
 	"ppscan/internal/lint/wsalias"
 )
 
@@ -23,5 +27,9 @@ func All() []*framework.Analyzer {
 		ctxloop.Analyzer,
 		atomicmix.Analyzer,
 		panicsafe.Analyzer,
+		snapfreeze.Analyzer,
+		releaseonce.Analyzer,
+		lockorder.Analyzer,
+		chanwait.Analyzer,
 	}
 }

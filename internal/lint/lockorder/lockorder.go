@@ -1,0 +1,604 @@
+// Package lockorder extracts the mutex-acquisition graph of the serving
+// stack and flags cycles. The coalescer, response cache, exemplar ring,
+// mutation serialization and the store's commit/live-snapshot locks grew
+// up in separate PRs; nothing but convention says they nest consistently,
+// and an inconsistent pair (A under B in one handler, B under A in
+// another) is a deadlock that only fires under contention — exactly what
+// tests don't produce.
+//
+// Per function, a forward may-analysis over the framework CFG tracks the
+// set of locks held (a deferred Unlock keeps the lock held to function
+// end, which is the correct reading). Acquiring B while A is held records
+// the edge A→B. Calls to functions declared in the same package
+// contribute their transitive acquisition summaries; calls into
+// graph.Store go through a small external model (Commit/CommitWith take
+// commitMu then liveMu; CommitWith runs its prepare closure under
+// commitMu; Snapshot.Release takes liveMu) so the server-side pass sees
+// the cross-package picture. `go` statements are excluded from both the
+// held-set and summaries — lock ordering is a per-goroutine property, and
+// a spawned body is analyzed as its own function.
+//
+// Any strongly-connected component of the resulting graph (an inverted
+// pair, or a longer cycle stitched through helpers) is reported once, at
+// the earliest witnessing acquisition. Lock identity is "Type.field" for
+// mutex-typed struct fields; locks reached through dynamic expressions
+// (map/slice elements) are not tracked.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ppscan/internal/lint/framework"
+)
+
+// scopePackages: the issue names internal/server + graph.Store; the
+// fixture package exercises the analyzer's own tests.
+var scopePackages = map[string]bool{
+	"ppscan/internal/server": true,
+	"ppscan/graph":           true,
+	"lockfix":                true, // test fixture
+}
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &framework.Analyzer{
+	Name:      "lockorder",
+	Directive: "lockorder",
+	Doc: "builds the mutex-acquisition graph across internal/server and graph.Store (in-package " +
+		"call summaries + an external model for Store commit/live locks) and flags cycles and " +
+		"inconsistent pairwise orderings — contention-only deadlocks tests don't reach; annotate " +
+		"//lint:lockorder <reason> only with an argument why the cycle cannot deadlock",
+	Run: run,
+}
+
+type edgeKey struct{ from, to string }
+
+type analyzer struct {
+	pass       *framework.Pass
+	decls      map[types.Object]*ast.FuncDecl
+	summaries  map[types.Object]map[string]bool
+	inProgress map[types.Object]bool
+	edges      map[edgeKey]token.Pos
+	usedModel  bool
+}
+
+func run(pass *framework.Pass) error {
+	if !scopePackages[pass.ImportPath] {
+		return nil
+	}
+	a := &analyzer{
+		pass:       pass,
+		decls:      map[types.Object]*ast.FuncDecl{},
+		summaries:  map[types.Object]map[string]bool{},
+		inProgress: map[types.Object]bool{},
+		edges:      map[edgeKey]token.Pos{},
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
+					a.decls[obj] = fn
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					a.analyzeBody(n.Body)
+				}
+			case *ast.FuncLit:
+				// Every literal — including goroutine bodies — has its own
+				// per-goroutine acquisition order.
+				a.analyzeBody(n.Body)
+			}
+			return true
+		})
+	}
+	if a.usedModel {
+		// The store's own internal ordering, visible here only as a model:
+		// CommitWith holds commitMu while touching the live-snapshot map.
+		k := edgeKey{"Store.commitMu", "Store.liveMu"}
+		if _, ok := a.edges[k]; !ok {
+			a.edges[k] = token.NoPos
+		}
+	}
+	a.reportCycles()
+	return nil
+}
+
+// --- per-function held-set dataflow ---
+
+type lkKind int
+
+const (
+	lkLock lkKind = iota
+	lkUnlock
+	lkCall
+)
+
+type lkEvent struct {
+	kind     lkKind
+	id       string // lock identity for lkLock/lkUnlock
+	pos      token.Pos
+	acquires []string     // lkCall: locks the callee may acquire
+	closure  *ast.FuncLit // lkCall: argument closure run under `under`
+	under    string
+}
+
+type heldSet map[string]bool
+
+func joinHeld(a, b heldSet) heldSet {
+	out := make(heldSet, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func equalHeld(a, b heldSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *analyzer) analyzeBody(body *ast.BlockStmt) {
+	cfg := framework.BuildCFG(body, a.pass.TypesInfo)
+	events := map[*framework.Block][]lkEvent{}
+	any := false
+	for _, b := range cfg.Blocks {
+		events[b] = a.blockEvents(b)
+		if len(events[b]) > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	transfer := func(b *framework.Block, in heldSet) heldSet {
+		out := make(heldSet, len(in))
+		for k := range in {
+			out[k] = true
+		}
+		for _, ev := range events[b] {
+			switch ev.kind {
+			case lkLock:
+				out[ev.id] = true
+			case lkUnlock:
+				delete(out, ev.id)
+			}
+		}
+		return out
+	}
+	in, _ := framework.Forward(cfg, heldSet{}, joinHeld, transfer, equalHeld)
+
+	for _, b := range cfg.Blocks {
+		inF, ok := in[b]
+		if !ok {
+			continue
+		}
+		held := make(heldSet, len(inF))
+		for k := range inF {
+			held[k] = true
+		}
+		for _, ev := range events[b] {
+			switch ev.kind {
+			case lkLock:
+				for from := range held {
+					a.addEdge(from, ev.id, ev.pos)
+				}
+				held[ev.id] = true
+			case lkUnlock:
+				delete(held, ev.id)
+			case lkCall:
+				for _, to := range ev.acquires {
+					for from := range held {
+						a.addEdge(from, to, ev.pos)
+					}
+				}
+				if ev.closure != nil && ev.under != "" {
+					for to := range a.litAcquires(ev.closure) {
+						a.addEdge(ev.under, to, ev.pos)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (a *analyzer) addEdge(from, to string, pos token.Pos) {
+	if from == to {
+		return // self-edges are recursion/aliasing questions, not ordering
+	}
+	k := edgeKey{from, to}
+	if old, ok := a.edges[k]; !ok || (pos.IsValid() && pos < old) {
+		a.edges[k] = pos
+	}
+}
+
+// blockEvents extracts lock/unlock/call events of one CFG block in source
+// order. Defer and go subtrees are skipped: a deferred Unlock must NOT
+// remove the lock from the held set at registration (the lock stays held
+// to function end), and a goroutine's acquisitions belong to its own
+// analysis, not the spawner's held-set.
+func (a *analyzer) blockEvents(b *framework.Block) []lkEvent {
+	var evs []lkEvent
+	for _, n := range b.Nodes {
+		switch n.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			continue
+		}
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				if id, held, ok := a.lockCall(x); ok {
+					kind := lkUnlock
+					if held {
+						kind = lkLock
+					}
+					evs = append(evs, lkEvent{kind: kind, id: id, pos: x.Pos()})
+					return true
+				}
+				if acq, closure, under := a.calleeAcquires(x, map[types.Object]bool{}); len(acq) > 0 || closure != nil {
+					evs = append(evs, lkEvent{kind: lkCall, pos: x.Pos(), acquires: acq, closure: closure, under: under})
+				}
+			}
+			return true
+		})
+	}
+	return evs
+}
+
+// lockCall classifies a Lock/RLock (held=true) or Unlock/RUnlock call on a
+// sync.Mutex/RWMutex with a nameable identity. Read and write sides map to
+// the same identity: ordering is about the mutex, not the mode.
+func (a *analyzer) lockCall(call *ast.CallExpr) (id string, held, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		held = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	recv := ast.Unparen(sel.X)
+	tv, okT := a.pass.TypesInfo.Types[recv]
+	if !okT || !isSyncMutex(tv.Type) {
+		return "", false, false
+	}
+	id = a.lockID(recv)
+	if id == "" {
+		return "", false, false
+	}
+	return id, held, true
+}
+
+// lockID names a mutex expression: "Type.field" for struct fields,
+// "pkg.var" for package-level mutexes, "name@pos" for locals (position-
+// qualified so same-named locals in different functions never alias).
+// Dynamic expressions (elements of maps/slices) are unnameable → "".
+func (a *analyzer) lockID(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if selection, ok := a.pass.TypesInfo.Selections[e]; ok && selection.Kind() == types.FieldVal {
+			recv := selection.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				return named.Obj().Name() + "." + e.Sel.Name
+			}
+		}
+		// Package-qualified variable (pkg.mu).
+		if obj := a.pass.TypesInfo.Uses[e.Sel]; obj != nil {
+			if v, isVar := obj.(*types.Var); isVar && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name()
+			}
+		}
+	case *ast.Ident:
+		obj := a.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = a.pass.TypesInfo.Defs[e]
+		}
+		if obj == nil {
+			return ""
+		}
+		if obj.Parent() == a.pass.Pkg.Scope() {
+			return a.pass.Pkg.Name() + "." + obj.Name()
+		}
+		return obj.Name() + "@" + strconv.Itoa(int(obj.Pos()))
+	}
+	return ""
+}
+
+// --- call summaries ---
+
+// calleeAcquires returns the locks a call may acquire: the transitive
+// in-package summary for declared functions, or the external model for
+// graph.Store / graph.Snapshot methods (plus the prepare-closure contract
+// of CommitWith).
+func (a *analyzer) calleeAcquires(call *ast.CallExpr, visited map[types.Object]bool) (acq []string, closure *ast.FuncLit, under string) {
+	if ids, cl, un, ok := a.modelAcquires(call); ok {
+		a.usedModel = true
+		return ids, cl, un
+	}
+	id := calleeIdent(call)
+	if id == nil {
+		return nil, nil, ""
+	}
+	obj := a.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil, nil, ""
+	}
+	decl := a.decls[obj]
+	if decl == nil {
+		return nil, nil, ""
+	}
+	set := a.summaryOf(obj, decl, visited)
+	for k := range set {
+		acq = append(acq, k)
+	}
+	sort.Strings(acq)
+	return acq, nil, ""
+}
+
+// summaryOf memoizes the set of locks a declared function may acquire,
+// transitively through in-package calls and the external model. Recursion
+// cycles contribute nothing extra.
+func (a *analyzer) summaryOf(obj types.Object, decl *ast.FuncDecl, visited map[types.Object]bool) map[string]bool {
+	if s, ok := a.summaries[obj]; ok {
+		return s
+	}
+	if a.inProgress[obj] || visited[obj] {
+		return nil
+	}
+	a.inProgress[obj] = true
+	visited[obj] = true
+	set := a.bodyAcquires(decl.Body, visited)
+	delete(a.inProgress, obj)
+	a.summaries[obj] = set
+	return set
+}
+
+// litAcquires summarizes a function literal (the CommitWith prepare
+// closure) the same way.
+func (a *analyzer) litAcquires(lit *ast.FuncLit) map[string]bool {
+	return a.bodyAcquires(lit.Body, map[types.Object]bool{})
+}
+
+// bodyAcquires collects the locks a body may acquire. go statements are
+// excluded (per-goroutine ordering); nested non-go literals are included —
+// they may run on this goroutine.
+func (a *analyzer) bodyAcquires(body ast.Node, visited map[types.Object]bool) map[string]bool {
+	set := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if id, held, ok := a.lockCall(n); ok {
+				if held {
+					set[id] = true
+				}
+				return true
+			}
+			acq, closure, _ := a.calleeAcquires(n, visited)
+			for _, id := range acq {
+				set[id] = true
+			}
+			if closure != nil {
+				for id := range a.bodyAcquires(closure.Body, visited) {
+					set[id] = true
+				}
+			}
+		}
+		return true
+	})
+	return set
+}
+
+// --- external model for graph.Store / graph.Snapshot ---
+
+type storeEntry struct {
+	acquires   []string
+	closureArg int // -1: none; else the prepare-closure argument index
+	under      string
+}
+
+var storeModel = map[string]storeEntry{
+	"Commit":        {acquires: []string{"Store.commitMu", "Store.liveMu"}, closureArg: -1},
+	"CommitWith":    {acquires: []string{"Store.commitMu", "Store.liveMu"}, closureArg: 1, under: "Store.commitMu"},
+	"LiveSnapshots": {acquires: []string{"Store.liveMu"}, closureArg: -1},
+}
+
+func (a *analyzer) modelAcquires(call *ast.CallExpr) (acq []string, closure *ast.FuncLit, under string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, nil, "", false
+	}
+	tv, okT := a.pass.TypesInfo.Types[sel.X]
+	if !okT {
+		return nil, nil, "", false
+	}
+	t := tv.Type
+	if p, okP := t.(*types.Pointer); okP {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "ppscan/graph" {
+		return nil, nil, "", false
+	}
+	switch named.Obj().Name() {
+	case "Store":
+		entry, okE := storeModel[sel.Sel.Name]
+		if !okE {
+			return nil, nil, "", false
+		}
+		if entry.closureArg >= 0 && entry.closureArg < len(call.Args) {
+			if lit, okL := ast.Unparen(call.Args[entry.closureArg]).(*ast.FuncLit); okL {
+				closure, under = lit, entry.under
+			}
+		}
+		return entry.acquires, closure, under, true
+	case "Snapshot":
+		if sel.Sel.Name == "Release" {
+			return []string{"Store.liveMu"}, nil, "", true
+		}
+	}
+	return nil, nil, "", false
+}
+
+// --- cycle detection & reporting ---
+
+func (a *analyzer) reportCycles() {
+	if len(a.edges) == 0 {
+		return
+	}
+	adj := map[string][]string{}
+	nodes := map[string]bool{}
+	for k := range a.edges {
+		adj[k.from] = append(adj[k.from], k.to)
+		nodes[k.from], nodes[k.to] = true, true
+	}
+	for _, succs := range adj {
+		sort.Strings(succs)
+	}
+	for _, scc := range tarjan(nodes, adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		sort.Strings(scc)
+		inSCC := map[string]bool{}
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		type witness struct {
+			key edgeKey
+			pos token.Pos
+		}
+		var ws []witness
+		for k, pos := range a.edges {
+			if inSCC[k.from] && inSCC[k.to] {
+				ws = append(ws, witness{k, pos})
+			}
+		}
+		sort.Slice(ws, func(i, j int) bool {
+			if ws[i].key.from != ws[j].key.from {
+				return ws[i].key.from < ws[j].key.from
+			}
+			return ws[i].key.to < ws[j].key.to
+		})
+		reportPos := token.NoPos
+		var parts []string
+		for _, w := range ws {
+			parts = append(parts, fmt.Sprintf("%s→%s (%s)", w.key.from, w.key.to, a.witnessAt(w.pos)))
+			if w.pos.IsValid() && (!reportPos.IsValid() || w.pos < reportPos) {
+				reportPos = w.pos
+			}
+		}
+		a.pass.Reportf(reportPos, "locks acquired in conflicting orders: %s; acquire in one global order everywhere, or annotate //lint:lockorder <reason> with why this cannot deadlock", strings.Join(parts, ", "))
+	}
+}
+
+func (a *analyzer) witnessAt(pos token.Pos) string {
+	if !pos.IsValid() {
+		return "graph.Store model"
+	}
+	p := a.pass.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// tarjan returns the strongly-connected components of the lock graph.
+func tarjan(nodes map[string]bool, adj map[string][]string) [][]string {
+	var (
+		index   = map[string]int{}
+		lowlink = map[string]int{}
+		onStack = map[string]bool{}
+		stack   []string
+		counter int
+		sccs    [][]string
+	)
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = counter
+		lowlink[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if lowlink[w] < lowlink[v] {
+					lowlink[v] = lowlink[w]
+				}
+			} else if onStack[w] && index[w] < lowlink[v] {
+				lowlink[v] = index[w]
+			}
+		}
+		if lowlink[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	var sorted []string
+	for n := range nodes {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return sccs
+}
+
+// --- shared helpers ---
+
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn
+	case *ast.SelectorExpr:
+		return fn.Sel
+	}
+	return nil
+}
+
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return framework.IsNamed(t, "sync", "Mutex") || framework.IsNamed(t, "sync", "RWMutex")
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"ppscan/internal/lint/framework"
+	"ppscan/internal/lint/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	framework.AnalysisTest(t, "testdata", lockorder.Analyzer, "lockfix")
+}

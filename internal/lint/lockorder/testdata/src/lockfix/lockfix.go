@@ -1,0 +1,119 @@
+// Package lockfix exercises the lockorder analyzer: inverted pairs,
+// cycles stitched through in-package helpers, and the goroutine
+// exclusion. The inverted pair below is the real PR 7/8 hazard shape —
+// the coalescer lock and the cache lock nesting differently in two
+// handlers would deadlock only under contention.
+package lockfix
+
+import "sync"
+
+type svc struct {
+	a sync.Mutex
+	b sync.Mutex
+	c sync.Mutex
+	d sync.Mutex
+}
+
+// abOrder acquires a then b; baOrder inverts it. The SCC {svc.a, svc.b}
+// is reported once, at its earliest witnessing acquisition (here).
+func (s *svc) abOrder() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock() // want `locks acquired in conflicting orders: svc.a→svc.b`
+	s.b.Unlock()
+}
+
+func (s *svc) baOrder() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock()
+	s.a.Unlock()
+}
+
+// cThenD reaches d through a helper — the inversion with dThenC is only
+// visible through the call summary.
+func (s *svc) cThenD() {
+	s.c.Lock()
+	defer s.c.Unlock()
+	lockD(s) // want `locks acquired in conflicting orders: svc.c→svc.d`
+}
+
+func lockD(s *svc) {
+	s.d.Lock()
+	s.d.Unlock()
+}
+
+func (s *svc) dThenC() {
+	s.d.Lock()
+	defer s.d.Unlock()
+	s.c.Lock()
+	s.c.Unlock()
+}
+
+// pipeline nests consistently: outer before inner, everywhere. No report.
+type pipeline struct {
+	outer sync.Mutex
+	inner sync.Mutex
+}
+
+func (p *pipeline) both() {
+	p.outer.Lock()
+	defer p.outer.Unlock()
+	p.inner.Lock()
+	defer p.inner.Unlock()
+}
+
+func (p *pipeline) innerOnly() {
+	p.inner.Lock()
+	p.inner.Unlock()
+}
+
+// goStmtExcluded: the spawned goroutine acquires outer with an empty
+// held-set of its own — inner→outer is NOT an edge, so the consistent
+// outer→inner order above stands unchallenged.
+func (p *pipeline) goStmtExcluded() {
+	p.inner.Lock()
+	defer p.inner.Unlock()
+	go func() {
+		p.outer.Lock()
+		p.outer.Unlock()
+	}()
+}
+
+// tri is a three-lock cycle: no pair inverts, but x→y→z→x deadlocks all
+// the same. Reported once at the earliest witness.
+type tri struct {
+	x sync.Mutex
+	y sync.Mutex
+	z sync.Mutex
+}
+
+func (t *tri) xy() {
+	t.x.Lock()
+	defer t.x.Unlock()
+	t.y.Lock() // want `locks acquired in conflicting orders: tri.x→tri.y`
+	t.y.Unlock()
+}
+
+func (t *tri) yz() {
+	t.y.Lock()
+	defer t.y.Unlock()
+	t.z.Lock()
+	t.z.Unlock()
+}
+
+func (t *tri) zx() {
+	t.z.Lock()
+	defer t.z.Unlock()
+	t.x.Lock()
+	t.x.Unlock()
+}
+
+// sequential critical sections create no edge: nothing is held when the
+// second lock is taken.
+func (s *svc) sequentialSections() {
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Lock()
+	s.b.Unlock()
+}

@@ -1,0 +1,12 @@
+package releaseonce_test
+
+import (
+	"testing"
+
+	"ppscan/internal/lint/framework"
+	"ppscan/internal/lint/releaseonce"
+)
+
+func TestReleaseonce(t *testing.T) {
+	framework.AnalysisTest(t, "testdata", releaseonce.Analyzer, "releasefix")
+}

@@ -1,0 +1,267 @@
+// Package releasefix exercises the releaseonce analyzer. The first two
+// functions reproduce the PR 7 review findings verbatim in miniature: a
+// streaming workspace double-released via early-release-plus-defer, and
+// leaked on the client-disconnect path.
+package releasefix
+
+import (
+	"errors"
+	"sync"
+)
+
+var errBoom = errors.New("boom")
+
+type ws struct{ buf []byte }
+
+func (w *ws) Release() {}
+
+type pool struct{}
+
+func (p *pool) Acquire(n int) *ws { return &ws{buf: make([]byte, n)} }
+func (p *pool) Release(w *ws)     {}
+func (p *pool) Poison(w *ws)      {}
+
+type server struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	pool *pool
+}
+
+// doubleRelease is the PR 7 review bug: the error path releases the
+// workspace explicitly, then the deferred release returns it to the pool
+// a second time.
+func (s *server) doubleRelease(fail bool) error {
+	w := s.pool.Acquire(64)
+	defer s.pool.Release(w)
+	if fail {
+		s.pool.Release(w)
+		return errBoom // want `deferred release of w runs on a path where it is already released`
+	}
+	_ = w.buf
+	return nil
+}
+
+// leakOnDisconnect is the PR 7 leak twin: the disconnect path returns
+// without releasing at all.
+func (s *server) leakOnDisconnect(disconnected bool) error {
+	w := s.pool.Acquire(64)
+	if disconnected {
+		return errBoom // want `w is not released on this exit path`
+	}
+	s.pool.Release(w)
+	return nil
+}
+
+// deferredOnly is the correct shape: one deferred release, every path.
+func (s *server) deferredOnly(fail bool) error {
+	w := s.pool.Acquire(64)
+	defer s.pool.Release(w)
+	if fail {
+		return errBoom
+	}
+	_ = w.buf
+	return nil
+}
+
+// methodRelease uses the value's own Release method.
+func (s *server) methodRelease(fail bool) error {
+	w := s.pool.Acquire(64)
+	if fail {
+		return errBoom // want `w is not released on this exit path`
+	}
+	w.Release()
+	return nil
+}
+
+// deferredLiteralRelease: a release inside an unconditional deferred
+// closure counts (the deferred recover-and-release pattern).
+func (s *server) deferredLiteralRelease() {
+	w := s.pool.Acquire(64)
+	defer func() {
+		s.pool.Release(w)
+	}()
+	_ = w.buf
+}
+
+// escapes: a workspace that is returned is the caller's problem.
+func (s *server) escapes() *ws {
+	w := s.pool.Acquire(64)
+	return w
+}
+
+// lockLeak holds s.mu on the error return.
+func (s *server) lockLeak(fail bool) error {
+	s.mu.Lock()
+	if fail {
+		return errBoom // want `s.mu is still locked on this exit path`
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// doubleUnlock unlocks a mutex that is no longer held.
+func (s *server) doubleUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.mu.Unlock() // want `s.mu unlocked twice on this path`
+}
+
+// balancedBranches is the engine.Pool shape: one unlock per path, no defer.
+func (s *server) balancedBranches(x bool) int {
+	s.mu.Lock()
+	if x {
+		s.mu.Unlock()
+		return 1
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// relockSections is the resolve shape: three disjoint critical sections.
+func (s *server) relockSections() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// deferUnlock is the canonical safe shape.
+func (s *server) deferUnlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// explicitPlusDeferredUnlock double-unlocks via the defer.
+func (s *server) explicitPlusDeferredUnlock(fail bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fail {
+		s.mu.Unlock()
+		return errBoom // want `deferred unlock of s.mu runs on a path where it is already unlocked`
+	}
+	return nil
+}
+
+// readLockLeak leaks the read side of an RWMutex; the write side below is
+// tracked independently.
+func (s *server) readLockLeak(fail bool) error {
+	s.rw.RLock()
+	if fail {
+		return errBoom // want `s.rw is still read-locked on this exit path`
+	}
+	s.rw.RUnlock()
+	return nil
+}
+
+// rwBothSides: read and write sides are separate resources; balanced use
+// of both is clean.
+func (s *server) rwBothSides() {
+	s.rw.RLock()
+	s.rw.RUnlock()
+	s.rw.Lock()
+	s.rw.Unlock()
+}
+
+// loopLockUnlock is the handleSweep shape: a balanced pair inside a loop.
+func (s *server) loopLockUnlock(n int) {
+	for i := 0; i < n; i++ {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+}
+
+// conditionalLock joins held/unheld to unknown — not reported either way.
+func (s *server) conditionalLock(x bool) {
+	if x {
+		s.mu.Lock()
+	}
+	if x {
+		s.mu.Unlock()
+	}
+}
+
+// panicPathsSkipLeak: a held lock at a panic exit is not a leak report
+// (recover machinery owns it), but the fall-through exit still is clean
+// here because of the defer.
+func (s *server) panicPathsSkipLeak(bad bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if bad {
+		panic("bad")
+	}
+}
+
+// chanLeak: a locally-made channel the function closes on one path must
+// be closed on all of them.
+func chanLeak(fail bool) error {
+	done := make(chan struct{})
+	if fail {
+		return errBoom // want `channel done is not closed on this exit path`
+	}
+	close(done)
+	<-done
+	return nil
+}
+
+// chanDoubleClose closes twice on the same path — a runtime panic.
+func chanDoubleClose() {
+	done := make(chan struct{})
+	close(done)
+	close(done) // want `done closed twice on this path`
+}
+
+// chanDeferredDouble: explicit close on the early path plus the deferred
+// close.
+func chanDeferredDouble(fail bool) {
+	done := make(chan struct{})
+	defer close(done)
+	if fail {
+		close(done)
+		return // want `deferred close of done runs on a path where it is already closed`
+	}
+}
+
+// chanNeverClosed carries no close obligation: nobody closes it anywhere,
+// so it is just a value.
+func chanNeverClosed() chan int {
+	ch := make(chan int, 1)
+	ch <- 1
+	return ch
+}
+
+// chanEscapes: handing the channel to another function forfeits tracking.
+func chanEscapes(sink func(chan struct{})) {
+	done := make(chan struct{})
+	sink(done)
+	close(done)
+}
+
+// suppressedLeak shows the escape hatch: the function-doc directive covers
+// the synthesized exit edges too.
+//
+//lint:releaseonce fixture: leak is intentional and documented
+func (s *server) suppressedLeak(fail bool) error {
+	w := s.pool.Acquire(64)
+	if fail {
+		return errBoom
+	}
+	s.pool.Release(w)
+	return nil
+}
+
+// fatalExitNoObligation: paths that end the process carry no obligations.
+func (s *server) fatalExitNoObligation(fail bool) {
+	s.mu.Lock()
+	if fail {
+		Fatalf("bad state")
+	}
+	s.mu.Unlock()
+}
+
+// Fatalf models log.Fatalf: the CFG's terminating-call table matches the
+// callee name, so this path is a TermFatal exit with no obligations.
+func Fatalf(format string) {
+	panic(format)
+}

@@ -1,0 +1,12 @@
+package snapfreeze_test
+
+import (
+	"testing"
+
+	"ppscan/internal/lint/framework"
+	"ppscan/internal/lint/snapfreeze"
+)
+
+func TestSnapfreeze(t *testing.T) {
+	framework.AnalysisTest(t, "testdata", snapfreeze.Analyzer, "snapfix")
+}

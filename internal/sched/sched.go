@@ -235,6 +235,7 @@ func ForEachVertexStatic(workers int, n int32, process func(u int32, worker int)
 			}
 		}(beg, end, w)
 	}
+	//lint:chanwait static blocks run a bounded vertex range each with deferred recovery; every Done is reached
 	wg.Wait()
 	if wpe := panicErr.Load(); wpe != nil {
 		return wpe
@@ -416,6 +417,7 @@ func (p *Pool) Progress() uint64 { return p.progress.Load() }
 // for a clean (or merely cancelled) run.
 func (p *Pool) Join() error {
 	close(p.tasks)
+	//lint:chanwait workers exit when the just-closed tasks channel drains; panics are contained by recoverWorker
 	p.wg.Wait()
 	if wpe := p.panicErr.Load(); wpe != nil {
 		return wpe
