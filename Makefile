@@ -69,12 +69,16 @@ alloc-gate:
 	$(GO) test -run TestServingAllocBudget -count 1 -v ./internal/engine/
 
 # The fault-containment suite under the race detector: seeded chaos runs
-# across every engine, the server panic/stall acceptance scenarios, and
-# the watchdog tests (see OPERATIONS.md "Failure modes"). Already part of
-# `make race`; this target iterates on just the containment paths.
+# across every engine, the server panic/stall acceptance scenarios, the
+# watchdog tests, and the shard-tier drills — seeded fault schedules
+# against a worker fleet plus real scanshard processes killed and
+# restarted mid-superstep (see OPERATIONS.md "Failure modes" and §14).
+# Already part of `make race`; this target iterates on just the
+# containment paths. Set SHARD_CHAOS_LOG_DIR to keep the worker
+# processes' logs on disk (CI uploads them as artifacts on failure).
 chaos:
-	$(GO) test -race -count 1 -run 'TestChaos|TestWatchdog|TestDistscanSuperstepRetry|TestDistscanRetryExhaustion|TestAcceptance|TestServerChaos|TestServerWatchdog|TestHandlerPanic' \
-		./internal/engine/ ./internal/server/
+	$(GO) test -race -count 1 -run 'TestChaos|TestWatchdog|TestDistscanSuperstepRetry|TestDistscanRetryExhaustion|TestAcceptance|TestServerChaos|TestServerWatchdog|TestHandlerPanic|TestShardChaos' \
+		./internal/engine/ ./internal/server/ ./internal/shard/
 
 # The performance gate (cmd/perfbench + internal/perfgate): measure the
 # canonical suite — per-engine warm/cold latency, warm allocs, P1–P7 phase
@@ -100,10 +104,10 @@ perf-baseline:
 # `scanlint -list` (both name directions plus each suppression directive).
 # Built from source like scanlint — no network.
 docs-check:
-	$(GO) build -o $(TOOLS_BIN)/ ./cmd/scanserver ./cmd/ppscan ./cmd/perfbench ./cmd/docscheck ./cmd/scanlint
+	$(GO) build -o $(TOOLS_BIN)/ ./cmd/scanserver ./cmd/scanshard ./cmd/ppscan ./cmd/perfbench ./cmd/docscheck ./cmd/scanlint
 	$(TOOLS_BIN)/docscheck -ops OPERATIONS.md -readme README.md \
 		-scanlint $(TOOLS_BIN)/scanlint \
-		$(TOOLS_BIN)/scanserver $(TOOLS_BIN)/ppscan $(TOOLS_BIN)/perfbench
+		$(TOOLS_BIN)/scanserver $(TOOLS_BIN)/scanshard $(TOOLS_BIN)/ppscan $(TOOLS_BIN)/perfbench
 
 # The pre-merge gate: static checks, the full suite under the race
 # detector (the parallel phases, scheduler telemetry and HTTP middleware

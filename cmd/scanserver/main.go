@@ -57,6 +57,7 @@ import (
 	"ppscan/internal/dataset"
 	"ppscan/internal/fault"
 	"ppscan/internal/server"
+	"ppscan/internal/shard"
 )
 
 func main() {
@@ -84,8 +85,26 @@ func main() {
 		watchdog    = flag.Duration("watchdog", 0, "phase stall watchdog for direct computations: abort a request whose run makes no scheduler progress for this long and answer 500 (0 = off)")
 		exemplars   = flag.Int("exemplars", 8, "retain the N slowest computations of the last 15 minutes with full execution traces at /debug/slowest (0 = parameters and phase breakdown only for the default 4, traces off)")
 		chaosSeed   = flag.Int64("chaos-seed", 0, "arm deterministic fault injection with this seed (0 = off) — a chaos drill: injected worker panics, delays and transient faults exercise the containment paths while /metrics reports fault.* counters")
+
+		shardSpec = flag.String("shards", "", "serve queries on a multi-process scanshard worker fleet instead of in-process engines: semicolon-separated shards, each a comma-separated list of replica base URLs, e.g. \"http://h1:9100,http://h2:9100;http://h1:9101,http://h2:9101\"; mutually exclusive with -index and -coalesce-window")
 	)
 	flag.Parse()
+	var shardFleet [][]string
+	if *shardSpec != "" {
+		var perr error
+		shardFleet, perr = parseShardSpec(*shardSpec)
+		if perr == nil && *useIndex {
+			perr = fmt.Errorf("-shards is mutually exclusive with -index")
+		}
+		if perr == nil && *coalesceWin > 0 {
+			perr = fmt.Errorf("-shards is mutually exclusive with -coalesce-window")
+		}
+		if perr != nil {
+			fmt.Fprintf(flag.CommandLine.Output(), "scanserver: bad -shards: %v\n", perr)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
 	if *chaosSeed != 0 {
 		fault.Enable(fault.NewPlan(*chaosSeed))
 		log.Printf("fault injection armed (seed %d): this server will misbehave on purpose", *chaosSeed)
@@ -156,6 +175,22 @@ func main() {
 		srv = srv.WithMutations()
 		log.Printf("mutations enabled: POST /edges commits batched edge churn into new epochs")
 	}
+	var coord *shard.Coordinator
+	if shardFleet != nil {
+		coord, err = shard.NewCoordinator(g, shard.Options{
+			Shards: shardFleet,
+			Logf:   log.Printf,
+		})
+		if err != nil {
+			log.Fatal("scanserver: ", err)
+		}
+		srv = srv.WithShards(coord)
+		replicas := 0
+		for _, reps := range shardFleet {
+			replicas += len(reps)
+		}
+		log.Printf("sharded serving: %d shards, %d replicas; queries run on the scanshard fleet", len(shardFleet), replicas)
+	}
 	handler := srv.Handler()
 	if *pprofOn {
 		mux := http.NewServeMux()
@@ -197,12 +232,46 @@ func main() {
 			log.Printf("shutdown: %v (forcing close)", err)
 			httpSrv.Close()
 		}
+		if coord != nil {
+			// After in-flight requests finished their supersteps: stop the
+			// heartbeat loop and notify workers to drain, so the fleet
+			// refuses rounds from a coordinator that is going away.
+			coord.Shutdown(shutdownCtx)
+			log.Printf("shard fleet notified to drain")
+		}
 	}()
 	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal("scanserver: ", err)
 	}
 	<-done
 	log.Printf("drained, exiting")
+}
+
+// parseShardSpec parses the -shards fleet spec: semicolon-separated
+// shards, each a comma-separated list of replica base URLs.
+func parseShardSpec(spec string) ([][]string, error) {
+	var fleet [][]string
+	for i, shardPart := range strings.Split(spec, ";") {
+		var replicas []string
+		for _, addr := range strings.Split(shardPart, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
+				return nil, fmt.Errorf("shard %d: replica %q is not an http(s) base URL", i, addr)
+			}
+			replicas = append(replicas, strings.TrimRight(addr, "/"))
+		}
+		if len(replicas) == 0 {
+			return nil, fmt.Errorf("shard %d has no replicas", i)
+		}
+		fleet = append(fleet, replicas)
+	}
+	if len(fleet) == 0 {
+		return nil, fmt.Errorf("empty fleet spec")
+	}
+	return fleet, nil
 }
 
 // obtainIndex loads a cached index file when present, otherwise builds the

@@ -158,7 +158,7 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 		defer release()
 	}
 
-	bounds := partition(g, p)
+	bounds := Partition(g, p)
 	owner := func(v int32) int {
 		for w := 0; w < p; w++ {
 			if v >= bounds[w] && v < bounds[w+1] {
@@ -183,10 +183,13 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 		return commBytes
 	}
 	// abortErr builds the partial-stats error for any cause: context
-	// cancellation (cause == nil reads context.Cause), a contained worker
-	// panic, or a watchdog stall. Failure causes poison the workspace.
+	// cancellation (cause == nil reads context.Cause; a ctx error surfaced
+	// by the retry-backoff select is folded into the same path), a
+	// contained worker panic, or a watchdog stall. Failure causes poison
+	// the workspace; cancellation does not — the buffers are coherent, the
+	// client just left.
 	abortErr := func(superstep string, cause error) (*result.Result, error) {
-		if cause == nil {
+		if cause == nil || errors.Is(cause, context.Canceled) || errors.Is(cause, context.DeadlineExceeded) {
 			cause = context.Cause(ctx)
 		} else if ws != nil {
 			if errors.Is(cause, result.ErrStalled) {
@@ -226,7 +229,16 @@ func RunContextWorkspace(ctx context.Context, g *graph.Graph, th simdef.Threshol
 				return err
 			}
 			fault.NoteRetry()
-			time.Sleep(backoff)
+			// The backoff sleep honors cancellation: a client that goes away
+			// mid-backoff aborts the run immediately instead of waiting out
+			// the timer just to fail at the next superstep check.
+			timer := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			case <-timer.C:
+			}
 			backoff *= 2
 			if backoff > maxRetryBackoff {
 				backoff = maxRetryBackoff
@@ -562,9 +574,11 @@ func runAttempt(name string, p int, stall time.Duration, progress *atomic.Uint64
 	return parallelParts(name, p, stall, progress, fn)
 }
 
-// partition returns p+1 boundaries splitting [0, n) into contiguous ranges
-// with roughly equal degree sums.
-func partition(g *graph.Graph, p int) []int32 {
+// Partition returns p+1 boundaries splitting [0, n) into contiguous ranges
+// with roughly equal degree sums. The multi-process shard tier
+// (internal/shard) uses the same split so a coordinator and its workers
+// always agree on range ownership for a given (graph, p).
+func Partition(g *graph.Graph, p int) []int32 {
 	n := g.NumVertices()
 	bounds := make([]int32, p+1)
 	total := g.NumDirectedEdges() + int64(n) // +1 per vertex so empty graphs split too

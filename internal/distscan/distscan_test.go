@@ -77,7 +77,7 @@ func TestCommunicationOverheadMeasured(t *testing.T) {
 func TestPartitionBalance(t *testing.T) {
 	g := algotest.RandomGraph(115)
 	p := 4
-	bounds := partition(g, p)
+	bounds := Partition(g, p)
 	if bounds[0] != 0 || bounds[p] != g.NumVertices() {
 		t.Fatalf("bounds do not cover the vertex range: %v", bounds)
 	}

@@ -46,6 +46,22 @@ const (
 	// (the commit is two-phase, so a panic can never publish a torn
 	// snapshot), and delay actions model slow mutation batches.
 	EdgeBatchApply
+	// ShardRPC fires on the coordinator side once per shard RPC attempt,
+	// before the request leaves the process. Error actions model a lost or
+	// refused connection (transient — the coordinator retries with backoff
+	// and fails over to a replica), delay actions model a slow network.
+	ShardRPC
+	// ShardCrash fires on the worker side once per superstep RPC served.
+	// Error actions make the worker die abruptly mid-superstep (the real
+	// scanshard process hard-exits; an embedded test worker severs the
+	// connection), so the coordinator observes a crash, not an error
+	// response. Panic actions sever just the connection.
+	ShardCrash
+	// ShardDelay fires on the worker side once per superstep RPC served;
+	// delay actions stall the superstep so the coordinator's per-RPC
+	// deadline expires (a straggler shard → ShardTimeoutError → retry or
+	// failover).
+	ShardDelay
 	// NumPoints bounds the Point space (array sizing).
 	NumPoints
 )
@@ -55,6 +71,9 @@ var pointNames = [NumPoints]string{
 	SuperstepStart: "superstep_start",
 	GraphLoad:      "graph_load",
 	EdgeBatchApply: "edge_batch_apply",
+	ShardRPC:       "shard_rpc",
+	ShardCrash:     "shard_crash",
+	ShardDelay:     "shard_delay",
 }
 
 // String returns the point's stable name (used in errors and logs).
@@ -165,6 +184,47 @@ func NewPlan(seed int64) *Plan {
 		}
 		if act == ActDelay {
 			r.Delay = time.Duration(1+rng.Intn(2000)) * time.Microsecond
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	return p
+}
+
+// NewShardPlan derives a randomized fault schedule biased toward the
+// shard-tier injection points: straggler supersteps (ShardDelay), abrupt
+// worker death (ShardCrash) and coordinator-side RPC failures (ShardRPC).
+// It exists separately from NewPlan so the in-process chaos suites keep
+// their historical per-seed schedules; cmd/scanshard's -chaos-seed arms
+// this plan. Delays are sized to overrun the short per-RPC deadlines the
+// chaos suites configure (tens of milliseconds), not production ones.
+func NewShardPlan(seed int64) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Plan{Seed: seed}
+	nRules := 1 + rng.Intn(3)
+	for i := 0; i < nRules; i++ {
+		var pt Point
+		var act Action
+		switch rng.Intn(6) {
+		case 0, 1:
+			pt, act = ShardDelay, ActDelay
+		case 2:
+			pt, act = ShardCrash, ActError
+		case 3:
+			pt, act = ShardCrash, ActPanic
+		default:
+			pt, act = ShardRPC, ActError
+		}
+		r := Rule{
+			Point:  pt,
+			Action: act,
+			Start:  1 + uint64(rng.Intn(12)),
+			Count:  1 + uint64(rng.Intn(2)),
+		}
+		if rng.Intn(2) == 0 {
+			r.Every = 1 + uint64(rng.Intn(8))
+		}
+		if act == ActDelay {
+			r.Delay = time.Duration(20+rng.Intn(180)) * time.Millisecond
 		}
 		p.Rules = append(p.Rules, r)
 	}

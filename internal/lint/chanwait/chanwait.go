@@ -40,6 +40,7 @@ var servingPackages = map[string]bool{
 	"ppscan/internal/server":   true,
 	"ppscan/internal/engine":   true,
 	"ppscan/internal/distscan": true,
+	"ppscan/internal/shard":    true,
 	"chanfix":                  true, // test fixture
 }
 

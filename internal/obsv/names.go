@@ -246,4 +246,65 @@ const (
 	// MetricServerSweepMaxSteps echoes the configured per-request step
 	// bound (-sweep-max-steps) so dashboards can normalize step counts.
 	MetricServerSweepMaxSteps = "server.sweep.max_steps"
+
+	// Shard-tier metrics (internal/shard): the coordinator records the
+	// shard.* family into the registry it is constructed with (scanserver
+	// passes the process-global registry so /metrics surfaces the fleet);
+	// workers record the shard.worker.* family into their own registry,
+	// surfaced by the worker's /shard/healthz body.
+	//
+	// MetricShardRPCs counts shard RPC attempts issued by the coordinator
+	// (retries and failovers included); MetricShardRPCNs distributes their
+	// wall time, failures included.
+	MetricShardRPCs  = "shard.rpcs"
+	MetricShardRPCNs = "shard.rpc_ns"
+	// MetricShardRetries counts RPC attempts beyond each call's first;
+	// MetricShardFailovers counts attempts that moved to a different
+	// replica after a failure.
+	MetricShardRetries   = "shard.retries"
+	MetricShardFailovers = "shard.failovers"
+	// Typed-failure counters, one per taxonomy class: per-RPC deadline
+	// expiries (ShardTimeoutError), severed connections or dead processes
+	// (ShardCrashError), and non-200 worker responses (ShardRejectedError).
+	MetricShardTimeouts = "shard.timeouts"
+	MetricShardCrashes  = "shard.crashes"
+	MetricShardRejected = "shard.rejected"
+	// MetricShardHeartbeats counts heartbeat probes sent;
+	// MetricShardRejoins counts replicas that returned to healthy from
+	// suspect or dead; MetricShardSyncs counts epoch catch-up snapshot
+	// pushes to stale or rejoined workers.
+	MetricShardHeartbeats = "shard.heartbeats"
+	MetricShardRejoins    = "shard.rejoins"
+	MetricShardSyncs      = "shard.syncs"
+	// Fleet-state gauges: replicas currently in each health state.
+	MetricShardHealthy = "shard.replicas_healthy"
+	MetricShardSuspect = "shard.replicas_suspect"
+	MetricShardDead    = "shard.replicas_dead"
+	// MetricShardQueries counts coordinator-run sharded queries;
+	// MetricShardUnavailable counts queries abandoned because some shard
+	// had no replica left to serve a round (surfaced as 503 + Retry-After).
+	MetricShardQueries     = "shard.queries"
+	MetricShardUnavailable = "shard.unavailable"
+	// MetricShardCommBytes accumulates real wire bytes moved between the
+	// coordinator and the workers (request plus response bodies) — the
+	// multi-process measurement of the paper's §3.3 communication-overhead
+	// claim, replacing distscan's modeled byte counts.
+	MetricShardCommBytes = "shard.comm_bytes"
+	// MetricShardRoundNsPrefix + round name ("sim", "roles", "cluster",
+	// "members") distributes per-round wall time across the fleet barrier,
+	// retries and failovers included.
+	MetricShardRoundNsPrefix = "shard.round_ns."
+
+	// Worker-side shard metrics (recorded into the worker's own registry).
+	//
+	// MetricShardWorkerSteps counts superstep RPCs served;
+	// MetricShardWorkerStateHits / Misses count step requests answered from
+	// cached per-query state vs. ones that recomputed it (a restarted
+	// worker always misses — the self-contained round inputs make that
+	// correct, just slower); MetricShardWorkerSyncs counts epoch catch-up
+	// snapshots accepted via /shard/sync.
+	MetricShardWorkerSteps       = "shard.worker.steps"
+	MetricShardWorkerStateHits   = "shard.worker.state_hits"
+	MetricShardWorkerStateMisses = "shard.worker.state_misses"
+	MetricShardWorkerSyncs       = "shard.worker.syncs"
 )

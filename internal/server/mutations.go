@@ -170,6 +170,12 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	// so holding them would only displace live entries.
 	next := &epochState{g: d.New, ix: newIx}
 	s.state.Store(next)
+	if s.coord != nil {
+		// Sharded serving: the coordinator now rejects rounds workers
+		// answer at the old epoch and pushes snapshot syncs, so no worker
+		// ever serves the superseded view.
+		s.coord.Publish(d.New)
+	}
 	s.mu.Lock()
 	purged := s.cache.purgeBefore(next.epoch())
 	s.mu.Unlock()

@@ -53,6 +53,7 @@ import (
 	"ppscan/internal/fault"
 	"ppscan/internal/obsv"
 	"ppscan/internal/result"
+	"ppscan/internal/shard"
 	"ppscan/quality"
 )
 
@@ -123,6 +124,11 @@ type Server struct {
 	// coalesce, when non-nil, merges concurrent direct computations into
 	// single-flight similarity passes (see WithCoalescing and coalesce.go).
 	coalesce *coalescer
+
+	// coord, when non-nil, executes clustering queries on the
+	// multi-process shard fleet instead of in-process engines (see
+	// WithShards and shard.go).
+	coord *shard.Coordinator
 
 	// Sweep serving (see WithSweepMaxSteps and sweep.go): the per-request
 	// ε-grid bound and the cached sweep instruments.
@@ -539,7 +545,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		// in-flight requests finish.
 		status, body = http.StatusServiceUnavailable, "draining"
 	}
-	writeJSON(w, status, map[string]any{
+	resp := map[string]any{
 		"status":    body,
 		"vertices":  st.NumVertices,
 		"edges":     st.NumEdges / 2,
@@ -548,7 +554,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"indexed":   es.ix != nil,
 		"epoch":     es.epoch(),
 		"mutable":   s.store != nil,
-	})
+	}
+	if s.coord != nil {
+		// Sharded serving: expose the fleet's per-shard health so
+		// operators see which vertex ranges are degraded. A fleet with a
+		// dead-only shard still answers 200 — the serving process is
+		// healthy; affected queries degrade per-request with 503.
+		resp["shards"] = s.coord.FleetStatus()
+	}
+	writeJSON(w, status, resp)
 }
 
 // params parses the shared eps/mu/algo query parameters.
@@ -654,6 +668,10 @@ func (s *Server) resolve(ctx context.Context, st *epochState, eps string, mu int
 		// entry per (eps, mu) regardless of the requested algo.
 		key.algo = "index"
 	}
+	if s.coord != nil {
+		// Shard-fleet answers ignore algo= the same way.
+		key.algo = "shard"
+	}
 	s.mu.Lock()
 	cached, ok := s.cache.get(key)
 	s.mu.Unlock()
@@ -665,7 +683,7 @@ func (s *Server) resolve(ctx context.Context, st *epochState, eps string, mu int
 		return cached, nil
 	}
 	s.reg.Counter(obsv.MetricCacheMisses).Inc()
-	if s.coalesce != nil && st.ix == nil {
+	if s.coalesce != nil && st.ix == nil && s.coord == nil {
 		// Single-flight path: the flight holds the admission slot for the
 		// shared pass; this request only waits and extracts. Flights are
 		// epoch-keyed — do only joins flights over st's snapshot.
@@ -691,6 +709,9 @@ func (s *Server) resolve(ctx context.Context, st *epochState, eps string, mu int
 		return nil, errSaturated
 	}
 	defer release()
+	if s.coord != nil {
+		return s.runSharded(ctx, key, eps, mu)
+	}
 	if st.ix != nil {
 		return s.queryIndex(st, key, eps, mu)
 	}
@@ -833,6 +854,12 @@ func (s *Server) retryAfterSecs() int {
 // a contained worker panic or watchdog stall 500 with a structured body,
 // anything else 400.
 func (s *Server) writeResolveError(w http.ResponseWriter, err error) {
+	if s.writeShardError(w, err) {
+		// Shard-tier faults (unavailable shard → 503 + Retry-After,
+		// timeout/crash/rejection → structured 500) are mapped in
+		// shard.go.
+		return
+	}
 	var pe *ppscan.PartialError
 	phase := ""
 	if errors.As(err, &pe) {

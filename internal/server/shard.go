@@ -1,0 +1,102 @@
+// Sharded serving: WithShards swaps the compute backend from in-process
+// engines to a multi-process worker fleet driven by a shard.Coordinator.
+// The serving ladder above it — response cache, admission control,
+// draining — is unchanged; only the "compute" rung differs. Shard-tier
+// faults arrive as the typed taxonomy from internal/shard and are mapped
+// to structured HTTP errors here: a shard with no live replica degrades
+// the query to 503 + Retry-After naming the shard, never a hang and never
+// a silent partial result.
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"ppscan"
+	"ppscan/internal/shard"
+)
+
+// WithShards attaches a shard coordinator: /cluster (and /vertex,
+// /quality, which resolve through the same path) execute each query's
+// supersteps on the worker fleet instead of in-process engines. The
+// coordinator's graph must be the server's graph. Mutually exclusive with
+// WithIndex and WithCoalescing — the fleet already shares per-parameter
+// similarity state worker-side. With WithMutations, each committed epoch
+// is published to the coordinator, which pushes snapshot syncs so no
+// worker ever serves a stale view.
+func (s *Server) WithShards(c *shard.Coordinator) *Server {
+	s.coord = c
+	return s
+}
+
+// Coordinator returns the attached shard coordinator (nil when the server
+// computes in-process).
+func (s *Server) Coordinator() *shard.Coordinator { return s.coord }
+
+// runSharded executes one query on the fleet and caches the result under
+// the server's response cache, mirroring runDirect's contract. The
+// coordinator already clones nothing into workspaces — its results are
+// freshly allocated — so no defensive copy is needed before caching.
+func (s *Server) runSharded(ctx context.Context, key cacheKey, eps string, mu int) (*ppscan.Result, error) {
+	res, err := s.coord.Run(ctx, eps, int32(mu))
+	if err != nil {
+		return nil, err // classified by writeResolveError
+	}
+	s.mu.Lock()
+	s.cache.add(key, res)
+	s.mu.Unlock()
+	return res, nil
+}
+
+// writeShardError maps the shard fault taxonomy to HTTP. It reports
+// whether err was a shard-tier fault (and was written); writeResolveError
+// falls through to its generic rules otherwise.
+func (s *Server) writeShardError(w http.ResponseWriter, err error) bool {
+	var ua *shard.ShardUnavailableError
+	if errors.As(err, &ua) {
+		// Graceful degradation: the shard exhausted every replica and
+		// retry. The query is answerable again once a worker rejoins, so
+		// 503 + Retry-After, with the blast radius named for operators.
+		w.Header().Set("Retry-After", strconv.Itoa(shardRetryAfterSecs))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":             ua.Error(),
+			"kind":              "shard_unavailable",
+			"shard":             ua.Shard,
+			"round":             ua.Round,
+			"attempts":          ua.Attempts,
+			"retryAfterSeconds": shardRetryAfterSecs,
+		})
+		return true
+	}
+	// Leaf faults normally arrive wrapped in ShardUnavailableError; a bare
+	// one (a path that did not exhaust the budget) is still mapped to a
+	// structured 500 naming the shard and round.
+	var to *shard.ShardTimeoutError
+	var cr *shard.ShardCrashError
+	var rej *shard.ShardRejectedError
+	switch {
+	case errors.As(err, &to):
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error": to.Error(), "kind": "shard_timeout", "shard": to.Shard, "round": to.Round,
+		})
+		return true
+	case errors.As(err, &cr):
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error": cr.Error(), "kind": "shard_crash", "shard": cr.Shard, "round": cr.Round,
+		})
+		return true
+	case errors.As(err, &rej):
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error": rej.Error(), "kind": "shard_rejected", "shard": rej.Shard, "round": rej.Round,
+		})
+		return true
+	}
+	return false
+}
+
+// shardRetryAfterSecs is the Retry-After hint for shard unavailability:
+// long enough for a worker restart plus a heartbeat period, short enough
+// that clients re-probe a recovered fleet promptly.
+const shardRetryAfterSecs = 5

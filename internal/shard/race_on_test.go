@@ -1,0 +1,7 @@
+//go:build race
+
+package shard
+
+// raceEnabled mirrors the test binary's -race state so process-level
+// chaos drills build the scanshard worker with the race detector too.
+const raceEnabled = true

@@ -1,0 +1,629 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ppscan/graph"
+	"ppscan/internal/algotest"
+	"ppscan/internal/fault"
+	"ppscan/internal/intersect"
+	"ppscan/internal/obsv"
+	"ppscan/internal/result"
+	"ppscan/internal/scan"
+	"ppscan/internal/simdef"
+)
+
+// fleet is an in-process worker fleet for tests: httptest servers wrapping
+// real Workers, one or more replicas per shard.
+type fleet struct {
+	workers [][]*Worker
+	servers [][]*httptest.Server
+	addrs   [][]string
+}
+
+func newFleet(t *testing.T, g *graph.Graph, shards, replicas int) *fleet {
+	t.Helper()
+	f := &fleet{}
+	for s := 0; s < shards; s++ {
+		var ws []*Worker
+		var srvs []*httptest.Server
+		var addrs []string
+		for r := 0; r < replicas; r++ {
+			w, err := NewWorker(g, WorkerOptions{Shard: s, Shards: shards, Workers: 2})
+			if err != nil {
+				t.Fatalf("NewWorker(%d/%d): %v", s, shards, err)
+			}
+			srv := httptest.NewServer(w.Handler())
+			t.Cleanup(srv.Close)
+			ws = append(ws, w)
+			srvs = append(srvs, srv)
+			addrs = append(addrs, srv.URL)
+		}
+		f.workers = append(f.workers, ws)
+		f.servers = append(f.servers, srvs)
+		f.addrs = append(f.addrs, addrs)
+	}
+	return f
+}
+
+// coord builds a coordinator over the fleet with fast test timings and no
+// background heartbeat loop (tests drive HeartbeatNow explicitly).
+func (f *fleet) coord(t *testing.T, g *graph.Graph) *Coordinator {
+	t.Helper()
+	c, err := NewCoordinator(g, Options{
+		Shards:           f.addrs,
+		StepTimeout:      5 * time.Second,
+		HeartbeatTimeout: time.Second,
+		HeartbeatEvery:   -1,
+		RetryBackoff:     time.Millisecond,
+		MaxRetryBackoff:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		c.Shutdown(ctx)
+	})
+	return c
+}
+
+func reference(g *graph.Graph, th simdef.Threshold) *result.Result {
+	return scan.Run(g, th, scan.Options{Kernel: intersect.Merge})
+}
+
+func TestRunMatchesReferenceCorpus(t *testing.T) {
+	for _, tc := range algotest.Corpus() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			for _, shards := range []int{1, 3} {
+				f := newFleet(t, tc.G, shards, 1)
+				c := f.coord(t, tc.G)
+				for _, th := range algotest.Params() {
+					want := reference(tc.G, th)
+					got, err := c.Run(context.Background(), th.Eps.String(), th.Mu)
+					if err != nil {
+						t.Fatalf("shards=%d eps=%s mu=%d: %v", shards, th.Eps, th.Mu, err)
+					}
+					if err := result.Equal(want, got); err != nil {
+						t.Fatalf("shards=%d eps=%s mu=%d: %v", shards, th.Eps, th.Mu, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestShardCountIndependence(t *testing.T) {
+	g := algotest.RandomGraph(42)
+	th, _ := simdef.NewThreshold("0.4", 3)
+	want := reference(g, th)
+	for _, shards := range []int{1, 2, 4, 7} {
+		f := newFleet(t, g, shards, 1)
+		c := f.coord(t, g)
+		got, err := c.Run(context.Background(), "0.4", 3)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if err := result.Equal(want, got); err != nil {
+			t.Errorf("shards=%d changes output: %v", shards, err)
+		}
+	}
+}
+
+func TestCommBytesMeasured(t *testing.T) {
+	g := algotest.RandomGraph(7)
+	f := newFleet(t, g, 3, 1)
+	c := f.coord(t, g)
+	r, err := c.Run(context.Background(), "0.4", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.CommBytes == 0 {
+		t.Error("multi-shard query reported 0 wire bytes; measurement broken")
+	}
+	if r.Stats.Algorithm != "shard-scan(s=3)" {
+		t.Errorf("algorithm label %q", r.Stats.Algorithm)
+	}
+}
+
+// flakyProxy fails the first n requests per path-class with a severed
+// connection, then forwards.
+type flakyProxy struct {
+	backend http.Handler
+	mu      sync.Mutex
+	fails   int
+}
+
+func (p *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	fail := p.fails > 0
+	if fail {
+		p.fails--
+	}
+	p.mu.Unlock()
+	if fail {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			panic("test server not hijackable")
+		}
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			conn.Close()
+		}
+		return
+	}
+	p.backend.ServeHTTP(w, r)
+}
+
+func TestRetryAfterTransportFailure(t *testing.T) {
+	g := algotest.RandomGraph(3)
+	w, err := NewWorker(g, WorkerOptions{Shard: 0, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := &flakyProxy{backend: w.Handler(), fails: 2}
+	srv := httptest.NewServer(proxy)
+	defer srv.Close()
+	c, err := NewCoordinator(g, Options{
+		Shards:         [][]string{{srv.URL}},
+		HeartbeatEvery: -1,
+		RetryBackoff:   time.Millisecond,
+		MaxAttempts:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, _ := simdef.NewThreshold("0.5", 2)
+	want := reference(g, th)
+	got, err := c.Run(context.Background(), "0.5", 2)
+	if err != nil {
+		t.Fatalf("retries did not absorb 2 severed connections: %v", err)
+	}
+	if err := result.Equal(want, got); err != nil {
+		t.Fatal(err)
+	}
+	if c.retriesC.Value() == 0 {
+		t.Error("no retries counted despite injected transport failures")
+	}
+}
+
+func TestFailoverToReplica(t *testing.T) {
+	g := algotest.RandomGraph(5)
+	f := newFleet(t, g, 2, 2)
+	// Kill shard 1's first replica entirely: every round must fail over.
+	f.servers[1][0].Close()
+	c := f.coord(t, g)
+	th, _ := simdef.NewThreshold("0.4", 3)
+	want := reference(g, th)
+	got, err := c.Run(context.Background(), "0.4", 3)
+	if err != nil {
+		t.Fatalf("failover did not mask a dead replica: %v", err)
+	}
+	if err := result.Equal(want, got); err != nil {
+		t.Fatal(err)
+	}
+	if c.failovers.Value() == 0 {
+		t.Error("no failovers counted despite a dead first replica")
+	}
+	// The dead replica must have been marked: fleet status shows it.
+	fs := c.FleetStatus()
+	if fs.Healthy+fs.Suspect+fs.Dead != 4 {
+		t.Fatalf("fleet status lost replicas: %+v", fs)
+	}
+	if fs.Suspect+fs.Dead == 0 {
+		t.Error("dead replica still reported healthy after failed RPCs")
+	}
+}
+
+func TestUnavailableWhenNoReplicaLeft(t *testing.T) {
+	g := algotest.RandomGraph(9)
+	f := newFleet(t, g, 2, 1)
+	f.servers[1][0].Close()
+	c, err := NewCoordinator(g, Options{
+		Shards:         f.addrs,
+		HeartbeatEvery: -1,
+		RetryBackoff:   time.Millisecond,
+		MaxAttempts:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(context.Background(), "0.4", 3)
+	var ua *ShardUnavailableError
+	if !errors.As(err, &ua) {
+		t.Fatalf("want ShardUnavailableError, got %v", err)
+	}
+	if ua.Shard != 1 {
+		t.Errorf("unavailable error names shard %d, want 1", ua.Shard)
+	}
+	var crash *ShardCrashError
+	if !errors.As(err, &crash) {
+		t.Errorf("unavailable error should wrap the leaf ShardCrashError, got %v", ua.Err)
+	}
+	if !fault.IsTransient(err) {
+		t.Error("shard unavailability should be transient (retryable later)")
+	}
+	if c.unavailable.Value() == 0 {
+		t.Error("unavailable counter not bumped")
+	}
+}
+
+func TestStragglerTimesOut(t *testing.T) {
+	g := algotest.RandomGraph(11)
+	w, err := NewWorker(g, WorkerOptions{Shard: 0, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		time.Sleep(200 * time.Millisecond)
+		w.Handler().ServeHTTP(rw, r)
+	})
+	srv := httptest.NewServer(slow)
+	defer srv.Close()
+	c, err := NewCoordinator(g, Options{
+		Shards:         [][]string{{srv.URL}},
+		StepTimeout:    30 * time.Millisecond,
+		HeartbeatEvery: -1,
+		RetryBackoff:   time.Millisecond,
+		MaxAttempts:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(context.Background(), "0.4", 3)
+	var to *ShardTimeoutError
+	if !errors.As(err, &to) {
+		t.Fatalf("want ShardTimeoutError in chain, got %v", err)
+	}
+	if c.timeouts.Value() == 0 {
+		t.Error("timeout counter not bumped")
+	}
+}
+
+func TestEpochCatchUpOnMutation(t *testing.T) {
+	g := algotest.RandomGraph(13)
+	f := newFleet(t, g, 2, 1)
+	c := f.coord(t, g)
+	if _, err := c.Run(context.Background(), "0.4", 3); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate: commit a batch through a store, publish the new snapshot.
+	st := graph.NewStore(g)
+	var ops []graph.EdgeOp
+	n := g.NumVertices()
+	for v := int32(1); v < n && len(ops) < 5; v++ {
+		if g.EdgeOffset(0, v) < 0 {
+			ops = append(ops, graph.EdgeOp{U: 0, V: v})
+		}
+	}
+	if len(ops) == 0 {
+		t.Skip("vertex 0 already saturated")
+	}
+	delta, err := st.Commit(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := delta.New
+	if g2.Epoch() == g.Epoch() {
+		t.Fatal("commit did not advance the epoch")
+	}
+	c.Publish(g2)
+	// Workers still hold the old epoch; the next query must trigger 409 →
+	// sync → retry, transparently.
+	want := reference(g2, mustTh(t, "0.4", 3))
+	got, err := c.Run(context.Background(), "0.4", 3)
+	if err != nil {
+		t.Fatalf("epoch catch-up failed: %v", err)
+	}
+	if err := result.Equal(want, got); err != nil {
+		t.Fatalf("post-mutation result wrong (stale epoch served?): %v", err)
+	}
+	if c.syncsC.Value() == 0 {
+		t.Error("no snapshot syncs counted despite an epoch bump")
+	}
+	for s, ws := range f.workers {
+		if e := ws[0].Epoch(); e != g2.Epoch() {
+			t.Errorf("shard %d worker stuck at epoch %d, want %d", s, e, g2.Epoch())
+		}
+	}
+}
+
+func TestHeartbeatSyncsLaggingWorker(t *testing.T) {
+	g := algotest.RandomGraph(17)
+	f := newFleet(t, g, 1, 1)
+	c := f.coord(t, g)
+	st := graph.NewStore(g)
+	delta, err := st.Commit([]graph.EdgeOp{{U: 0, V: g.NumVertices() - 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.New.Epoch() == g.Epoch() {
+		t.Skip("edge already present")
+	}
+	c.Publish(delta.New)
+	c.HeartbeatNow(context.Background())
+	if e := f.workers[0][0].Epoch(); e != delta.New.Epoch() {
+		t.Fatalf("heartbeat did not sync the idle worker: epoch %d, want %d", e, delta.New.Epoch())
+	}
+	fs := c.FleetStatus()
+	if fs.Fleet[0].Replicas[0].Epoch != delta.New.Epoch() {
+		t.Errorf("fleet status epoch stale: %+v", fs.Fleet[0].Replicas[0])
+	}
+	if fs.Fleet[0].Replicas[0].LastHeartbeatMS < 0 {
+		t.Errorf("heartbeat age not recorded")
+	}
+}
+
+func TestHeartbeatDetectsDeathAndRejoin(t *testing.T) {
+	g := algotest.RandomGraph(19)
+	w, err := NewWorker(g, WorkerOptions{Shard: 0, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := atomic.Bool{}
+	alive.Store(true)
+	gate := http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if !alive.Load() {
+			hj := rw.(http.Hijacker)
+			conn, _, err := hj.Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		w.Handler().ServeHTTP(rw, r)
+	})
+	srv := httptest.NewServer(gate)
+	defer srv.Close()
+	c, err := NewCoordinator(g, Options{
+		Shards:         [][]string{{srv.URL}},
+		HeartbeatEvery: -1,
+		SuspectAfter:   1,
+		DeadAfter:      2,
+		// The exact-value assertion below needs a registry other tests'
+		// coordinators (which default to obsv.Default()) don't share.
+		Registry: obsv.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	c.HeartbeatNow(ctx)
+	if fs := c.FleetStatus(); fs.Healthy != 1 {
+		t.Fatalf("live worker not healthy: %+v", fs)
+	}
+	alive.Store(false)
+	c.HeartbeatNow(ctx)
+	if fs := c.FleetStatus(); fs.Suspect != 1 {
+		t.Fatalf("one failed heartbeat should mark suspect: %+v", fs)
+	}
+	c.HeartbeatNow(ctx)
+	if fs := c.FleetStatus(); fs.Dead != 1 {
+		t.Fatalf("two failed heartbeats should mark dead: %+v", fs)
+	}
+	alive.Store(true)
+	c.HeartbeatNow(ctx)
+	if fs := c.FleetStatus(); fs.Healthy != 1 {
+		t.Fatalf("revived worker did not rejoin: %+v", fs)
+	}
+	if c.rejoins.Value() != 1 {
+		t.Errorf("rejoins counter = %d, want 1", c.rejoins.Value())
+	}
+}
+
+func TestWorkerRejectsWrongPartitionArguments(t *testing.T) {
+	g := algotest.RandomGraph(23)
+	// Worker believes it is shard 1 of 3; coordinator routes to it as
+	// shard 0 of 1. Heartbeat cross-check must quarantine it.
+	w, err := NewWorker(g, WorkerOptions{Shard: 1, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+	c, err := NewCoordinator(g, Options{
+		Shards:         [][]string{{srv.URL}},
+		HeartbeatEvery: -1,
+		SuspectAfter:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.HeartbeatNow(context.Background())
+	if fs := c.FleetStatus(); fs.Healthy != 0 {
+		t.Fatalf("mispartitioned worker passed the heartbeat cross-check: %+v", fs)
+	}
+}
+
+func TestDrainingWorkerRefusesRounds(t *testing.T) {
+	g := algotest.RandomGraph(29)
+	f := newFleet(t, g, 1, 1)
+	f.workers[0][0].SetDraining(true)
+	c, err := NewCoordinator(g, Options{
+		Shards:         f.addrs,
+		HeartbeatEvery: -1,
+		RetryBackoff:   time.Millisecond,
+		MaxAttempts:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(context.Background(), "0.4", 3)
+	var rej *ShardRejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("want ShardRejectedError from a draining worker, got %v", err)
+	}
+	if rej.Kind != "draining" || rej.Status != http.StatusServiceUnavailable {
+		t.Errorf("rejection = %+v, want draining/503", rej)
+	}
+}
+
+func TestShutdownNotifiesWorkers(t *testing.T) {
+	g := algotest.RandomGraph(31)
+	f := newFleet(t, g, 2, 1)
+	c := f.coord(t, g)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	c.Shutdown(ctx)
+	for s, ws := range f.workers {
+		if !ws[0].Health().Draining {
+			t.Errorf("shard %d worker not draining after coordinator shutdown", s)
+		}
+	}
+}
+
+func TestQueryCancellation(t *testing.T) {
+	g := algotest.RandomGraph(37)
+	w, err := NewWorker(g, WorkerOptions{Shard: 0, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	var once sync.Once
+	slow := http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		once.Do(func() { close(release) })
+		time.Sleep(50 * time.Millisecond)
+		w.Handler().ServeHTTP(rw, r)
+	})
+	srv := httptest.NewServer(slow)
+	defer srv.Close()
+	c, err := NewCoordinator(g, Options{
+		Shards:         [][]string{{srv.URL}},
+		HeartbeatEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-release
+		cancel()
+	}()
+	_, err = c.Run(ctx, "0.4", 3)
+	if err == nil {
+		t.Fatal("canceled query returned a result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in chain, got %v", err)
+	}
+}
+
+func TestWorkerStateCacheSharedAcrossQueries(t *testing.T) {
+	g := algotest.RandomGraph(41)
+	f := newFleet(t, g, 1, 1)
+	c := f.coord(t, g)
+	ctx := context.Background()
+	if _, err := c.Run(ctx, "0.4", 3); err != nil {
+		t.Fatal(err)
+	}
+	missesAfterFirst := f.workers[0][0].misses.Value()
+	if _, err := c.Run(ctx, "0.4", 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.workers[0][0].misses.Value(); got != missesAfterFirst {
+		t.Errorf("second identical query recomputed state: misses %d -> %d", missesAfterFirst, got)
+	}
+	if f.workers[0][0].hits.Value() == 0 {
+		t.Error("no state-cache hits counted")
+	}
+}
+
+func TestInjectedShardRPCFaultIsRetried(t *testing.T) {
+	g := algotest.RandomGraph(43)
+	f := newFleet(t, g, 2, 1)
+	c := f.coord(t, g)
+	plan := &fault.Plan{Rules: []fault.Rule{
+		{Point: fault.ShardRPC, Action: fault.ActError, Start: 1, Count: 2},
+	}}
+	fault.Enable(plan)
+	defer fault.Disable()
+	th, _ := simdef.NewThreshold("0.4", 3)
+	want := reference(g, th)
+	got, err := c.Run(context.Background(), "0.4", 3)
+	if err != nil {
+		t.Fatalf("injected RPC faults not absorbed: %v", err)
+	}
+	if err := result.Equal(want, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectedWorkerPanicSeversConnection(t *testing.T) {
+	g := algotest.RandomGraph(47)
+	f := newFleet(t, g, 1, 1)
+	c := f.coord(t, g)
+	plan := &fault.Plan{Rules: []fault.Rule{
+		{Point: fault.ShardCrash, Action: fault.ActPanic, Start: 1, Count: 1},
+	}}
+	fault.Enable(plan)
+	defer fault.Disable()
+	th, _ := simdef.NewThreshold("0.4", 3)
+	want := reference(g, th)
+	got, err := c.Run(context.Background(), "0.4", 3)
+	if err != nil {
+		t.Fatalf("worker panic not contained by retry: %v", err)
+	}
+	if err := result.Equal(want, got); err != nil {
+		t.Fatal(err)
+	}
+	if c.crashes.Value() == 0 {
+		t.Error("severed connection not classified as a crash")
+	}
+}
+
+func mustTh(t *testing.T, eps string, mu int32) simdef.Threshold {
+	t.Helper()
+	th, err := simdef.NewThreshold(eps, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return th
+}
+
+func TestNewCoordinatorValidation(t *testing.T) {
+	g := algotest.RandomGraph(51)
+	if _, err := NewCoordinator(g, Options{}); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := NewCoordinator(g, Options{Shards: [][]string{{}}}); err == nil {
+		t.Error("replica-less shard accepted")
+	}
+}
+
+func TestNewWorkerValidation(t *testing.T) {
+	g := algotest.RandomGraph(53)
+	if _, err := NewWorker(g, WorkerOptions{Shard: 0, Shards: 0}); err == nil {
+		t.Error("zero shard count accepted")
+	}
+	if _, err := NewWorker(g, WorkerOptions{Shard: 3, Shards: 2}); err == nil {
+		t.Error("out-of-range shard id accepted")
+	}
+}
+
+func TestErrorStringsNameBlastRadius(t *testing.T) {
+	e1 := &ShardTimeoutError{Shard: 2, Addr: "http://x:1", Round: RoundSim, Timeout: time.Second}
+	e2 := &ShardCrashError{Shard: 1, Addr: "http://y:2", Round: RoundRoles, Err: fmt.Errorf("boom")}
+	e3 := &ShardRejectedError{Shard: 0, Addr: "http://z:3", Round: RoundCluster, Status: 409, Kind: "epoch_mismatch", Msg: "stale"}
+	e4 := &ShardUnavailableError{Shard: 3, Round: RoundMembers, Attempts: 4, Err: e2}
+	for _, e := range []error{e1, e2, e3, e4} {
+		if e.Error() == "" {
+			t.Fatalf("%T empty error string", e)
+		}
+		if !fault.IsTransient(e) {
+			t.Errorf("%T should be transient", e)
+		}
+	}
+	if !errors.Is(e4, e2) {
+		t.Error("unavailable does not unwrap to its leaf")
+	}
+}
